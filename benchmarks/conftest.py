@@ -1,0 +1,39 @@
+"""Benchmark-suite helpers.
+
+Each benchmark runs one experiment driver end to end (workload generation,
+simulation/testbed, aggregation) and prints the regenerated table in the
+paper's row format.  Set ``REPRO_BENCH_SCALE`` (0 < scale <= 1, default
+0.2) to trade runtime for fidelity; ``1.0`` reproduces the paper-sized
+runs used for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Trace-length scale for benchmark runs.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
+
+
+def run_and_report(benchmark, experiment_id: str, scale: float | None = None, **kwargs):
+    """Benchmark one experiment driver (single round) and print its report."""
+    from repro.experiments import run_experiment
+
+    scale = BENCH_SCALE if scale is None else scale
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"scale": scale, **kwargs},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.render())
+    return result
+
+
+@pytest.fixture
+def bench_scale() -> float:
+    return BENCH_SCALE

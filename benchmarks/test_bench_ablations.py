@@ -1,0 +1,64 @@
+"""Benchmarks: the six DESIGN.md ablations (A1-A6)."""
+
+from conftest import run_and_report
+
+
+def test_bench_ablation_cleaner(benchmark):
+    result = run_and_report(benchmark, "ablation-cleaner")
+    table = result.tables[0]
+    assert set(table.column("policy")) == {"greedy", "cost-benefit", "envy"}
+
+
+def test_bench_ablation_segment(benchmark):
+    result = run_and_report(benchmark, "ablation-segment")
+    table = result.tables[0]
+    cleanings = dict(zip(table.column("segment KB"), table.column("cleanings")))
+    # Smaller erasure units erase more often (fixed data volume).
+    assert cleanings[16] >= cleanings[256]
+
+
+def test_bench_ablation_spindown(benchmark):
+    result = run_and_report(benchmark, "ablation-spindown")
+    table = result.tables[0]
+    spin_ups = dict(zip(table.column("threshold s"), table.column("spin-ups")))
+    assert spin_ups["never"] == 0
+    assert spin_ups[0.5] >= spin_ups[30.0]
+
+
+def test_bench_ablation_writeback(benchmark):
+    result = run_and_report(benchmark, "ablation-writeback")
+    table = result.tables[0]
+    for row in table.rows:
+        saved = row[6]
+        if saved != "-":
+            assert int(saved.rstrip("%")) >= 0
+
+
+def test_bench_ablation_series2plus(benchmark):
+    result = run_and_report(benchmark, "ablation-series2plus")
+    table = result.tables[0]
+    by_device = {}
+    for row in table.rows:
+        by_device.setdefault(row[0], {})[row[1]] = row
+    stall_index = table.headers.index("stall s")
+    for trace, devices in by_device.items():
+        assert (
+            devices["intel-series2plus"][stall_index]
+            <= devices["intel-datasheet"][stall_index]
+        )
+
+
+def test_bench_ablation_flash_sram(benchmark):
+    result = run_and_report(benchmark, "ablation-flash-sram")
+    table = result.tables[0]
+    for row in table.rows:
+        speedup = row[4]
+        assert speedup > 1.0  # the buffer always helps write response
+
+
+def test_bench_ablation_leveling(benchmark):
+    result = run_and_report(benchmark, "ablation-leveling")
+    table = result.tables[0]
+    spread = dict(zip(table.column("policy"), table.column("max-mean spread")))
+    # Active leveling never widens the wear spread vs plain greedy.
+    assert spread["cold-swap"] <= spread["greedy"]

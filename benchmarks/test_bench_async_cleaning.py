@@ -1,0 +1,13 @@
+"""Benchmark: section 5.3 asynchronous erasure (SDP5 vs SDP5A)."""
+
+from conftest import run_and_report
+
+
+def test_bench_async_cleaning(benchmark):
+    result = run_and_report(benchmark, "async-cleaning")
+    table = result.tables[0]
+    for row in table.rows:
+        sync_ms, async_ms = row[1], row[2]
+        # Abstract: "asynchronous erasure can improve write response time
+        # by a factor of 2.5".
+        assert async_ms < sync_ms / 2

@@ -1,0 +1,11 @@
+"""Benchmark: section 5.2 endurance (wear at 40% vs 95% utilization)."""
+
+from conftest import run_and_report
+
+
+def test_bench_endurance(benchmark):
+    result = run_and_report(benchmark, "endurance")
+    table = result.tables[0]
+    for row in table.rows:
+        max_low, max_high = row[1], row[2]
+        assert max_high >= max_low  # burn-out never improves with fullness

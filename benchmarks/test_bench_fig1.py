@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 1 (MFFS write-latency anomaly)."""
+
+from conftest import run_and_report
+
+
+def test_bench_fig1(benchmark):
+    result = run_and_report(benchmark, "fig1", scale=1.0)
+    slopes = dict(
+        zip(
+            result.table("growth").column("curve"),
+            result.table("growth").column("slope ms/MB"),
+        )
+    )
+    # Only MFFS degrades with file size.
+    assert slopes["intel compressed"] > 100.0
+    assert abs(slopes["cu140 uncompressed"]) < 10.0
+    assert abs(slopes["sdp10 uncompressed"]) < 10.0

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 2 (energy/write response vs utilization)."""
+
+from conftest import run_and_report
+
+
+def test_bench_fig2(benchmark):
+    result = run_and_report(benchmark, "fig2")
+    table = result.tables[0]
+    by_trace = {}
+    for row in table.rows:
+        by_trace.setdefault(row[0], []).append(row)
+    for trace, rows in by_trace.items():
+        first, last = rows[0], rows[-1]
+        # Energy rises from 40% to 95% utilization.
+        assert last[2] >= first[2], f"{trace}: energy fell with utilization"
+        # Cleaning copies rise too.
+        assert last[7] >= first[7]

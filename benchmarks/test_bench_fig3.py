@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 3 (card throughput vs cumulative writes)."""
+
+from conftest import run_and_report
+
+
+def test_bench_fig3(benchmark):
+    result = run_and_report(benchmark, "fig3", scale=1.0)
+    summary = result.table("first vs last")
+    for configuration, first, last in summary.rows:
+        assert last < first, f"{configuration}: throughput did not decline"
+    firsts = {row[0]: row[1] for row in summary.rows}
+    assert firsts["9.5 MB live"] <= firsts["1 MB live"]

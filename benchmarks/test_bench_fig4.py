@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Figure 4 (DRAM vs flash size, dos trace)."""
+
+from conftest import run_and_report
+
+
+def test_bench_fig4(benchmark):
+    result = run_and_report(benchmark, "fig4")
+    table = result.tables[0]
+    by_configuration = {}
+    for configuration, dram_kb, energy, response in table.rows:
+        by_configuration.setdefault(configuration, []).append((dram_kb, energy))
+    for configuration, rows in by_configuration.items():
+        if configuration.startswith("intel"):
+            # "Adding DRAM ... increases the energy used for DRAM without
+            # any appreciable benefits."
+            assert rows[-1][1] >= rows[0][1]

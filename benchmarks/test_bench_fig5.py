@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 5 (SRAM write-buffer sweep)."""
+
+from conftest import run_and_report
+
+
+def test_bench_fig5(benchmark):
+    result = run_and_report(benchmark, "fig5")
+    table = result.tables[0]
+    for trace in ("mac", "dos"):
+        rows = [row for row in table.rows if row[0] == trace]
+        normalized_write = {row[1]: row[5] for row in rows}
+        # 32 KB SRAM improves write response by >= an order of magnitude
+        # for the cache-backed traces.
+        assert normalized_write[32] < 0.1
+    hp_rows = {row[1]: row[5] for row in table.rows if row[0] == "hp"}
+    if 32 in hp_rows:
+        assert hp_rows[32] < 1.0  # improves, but far less than mac/dos

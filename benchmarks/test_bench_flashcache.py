@@ -1,0 +1,16 @@
+"""Benchmark: extension X1 — FlashCache (flash card caching disk blocks)."""
+
+from conftest import run_and_report
+
+
+def test_bench_flashcache(benchmark):
+    result = run_and_report(benchmark, "flashcache")
+    table = result.tables[0]
+    synth_rows = [row for row in table.rows if row[0] == "synth"]
+    baseline = synth_rows[0][2]
+    cached = synth_rows[-1][2]
+    # On the reuse-heavy workload the hybrid saves real energy
+    # (Marsh et al. report 20-40%).
+    assert cached < baseline * 0.95
+    # And the flash absorbs the read stream.
+    assert synth_rows[-1][7] > 0.7

@@ -1,0 +1,14 @@
+"""Benchmark: section 7 headline claims (energy savings, battery life)."""
+
+from conftest import run_and_report
+
+
+def test_bench_headline(benchmark):
+    result = run_and_report(benchmark, "headline")
+    savings = result.tables[0]
+    for trace, pair, saved, read_speedup, write_slowdown in savings.rows:
+        assert int(saved.rstrip("%")) >= 55
+        assert read_speedup > 2
+    battery = result.tables[1]
+    extensions = [int(row[2].rstrip("%")) for row in battery.rows]
+    assert max(extensions) >= 15  # the 22%-class headline

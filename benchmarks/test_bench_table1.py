@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Table 1 (OmniBook micro-benchmarks)."""
+
+from conftest import run_and_report
+
+
+def test_bench_table1(benchmark):
+    result = run_and_report(benchmark, "table1", scale=1.0)
+    table = result.tables[0]
+    # Shape: the disk posts the best large-file write throughput.
+    throughput = {
+        (row[0], row[1]): row[3] for row in table.rows  # unc 1M column
+    }
+    assert throughput[("cu140", "write")] > throughput[("sdp10", "write")]
+    assert throughput[("cu140", "write")] > throughput[("intel", "write")]

@@ -1,0 +1,8 @@
+"""Benchmark: render Table 2 (manufacturer specifications)."""
+
+from conftest import run_and_report
+
+
+def test_bench_table2(benchmark):
+    result = run_and_report(benchmark, "table2", scale=1.0)
+    assert len(result.tables[0].rows) == 8

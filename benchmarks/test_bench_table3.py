@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Table 3 (trace characteristics)."""
+
+from conftest import run_and_report
+
+
+def test_bench_table3(benchmark):
+    result = run_and_report(benchmark, "table3")
+    table = result.tables[0]
+    # Read fractions are scale-invariant and must sit on the paper targets.
+    for trace, statistic, generated, target, ratio in table.rows:
+        if statistic == "fraction_reads":
+            assert abs(generated - target) < 0.05

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Tables 4(a)-(c) (the paper's core comparison)."""
+
+from conftest import run_and_report
+
+
+def test_bench_table4(benchmark):
+    result = run_and_report(benchmark, "table4")
+    for table in result.tables:
+        energy = dict(zip(table.column("device"), table.column("energy J")))
+        # Flash an order of magnitude (at least 4x at small scales) below disk.
+        assert energy["intel-datasheet"] < energy["cu140-datasheet"] / 4
+        assert energy["sdp5-datasheet"] < energy["cu140-datasheet"] / 4

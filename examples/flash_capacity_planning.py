@@ -1,0 +1,62 @@
+"""Scenario: how much flash should you buy?
+
+The paper's section 5.2/5.4 lesson: a flash card run near capacity burns
+energy, time, and endurance on cleaning; spare capacity is cheap insurance.
+This example sweeps storage utilization for a fixed dataset, prices each
+configuration with 1994 dollars, and projects card lifetime.
+
+Run:  python examples/flash_capacity_planning.py
+"""
+
+import math
+
+from repro import SimulationConfig, simulate, workload_by_name
+from repro.analysis.cost import flash_cost
+from repro.analysis.endurance import endurance_report
+from repro.traces.filemap import dataset_blocks
+from repro.units import KB, MB
+
+UTILIZATIONS = (0.95, 0.90, 0.80, 0.60, 0.40)
+SEGMENT = 128 * KB
+
+
+def main() -> None:
+    trace = workload_by_name("dos").generate(seed=3, n_ops=8_000)
+    dataset = dataset_blocks(trace) * trace.block_size
+    print(f"dataset: {dataset / MB:.1f} MB of live data "
+          f"({len(trace)} trace operations)\n")
+
+    print(f"{'util':>5s} {'card MB':>8s} {'price $':>9s} {'energy J':>9s} "
+          f"{'write ms':>9s} {'cleanings':>10s} {'lifetime h':>11s}")
+    baseline = None
+    for utilization in UTILIZATIONS:
+        capacity = int(
+            math.ceil(max(dataset / utilization, dataset + 3 * SEGMENT) / SEGMENT)
+        ) * SEGMENT
+        config = SimulationConfig(
+            device="intel-datasheet",
+            flash_capacity_bytes=capacity,
+            flash_utilization=max(0.3, dataset / capacity),
+        )
+        result = simulate(trace, config)
+        report = endurance_report(result)
+        price = flash_cost(capacity).midpoint_dollars
+        life = report.lifetime_hours
+        life_text = "practically unlimited" if life == float("inf") else f"{life:,.0f}"
+        if baseline is None:
+            baseline = result.energy_j
+        print(
+            f"{dataset / capacity:5.0%} {capacity / MB:8.2f} {price:9.0f} "
+            f"{result.energy_j:9.1f} {result.write_response.mean_ms:9.3f} "
+            f"{result.device_stats['segments_cleaned']:10.0f} {life_text:>11s}"
+        )
+
+    print(
+        "\nreading the table: the first spare megabytes buy most of the "
+        "energy and endurance;\nbeyond ~60-80% utilization headroom, extra "
+        "flash is mostly just extra dollars."
+    )
+
+
+if __name__ == "__main__":
+    main()

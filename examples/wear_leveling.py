@@ -1,0 +1,57 @@
+"""Scenario: will your flash card outlive your laptop?
+
+The paper's section 2 warns that flash endures only ~100,000 erasures per
+segment and that systems should "spread the load over the flash memory".
+This example runs a hot-spot-heavy workload against the Intel card under
+three cleaning regimes and projects card lifetime for each.
+
+Run:  python examples/wear_leveling.py
+"""
+
+from repro import SimulationConfig, simulate
+from repro.analysis.endurance import endurance_report
+from repro.traces.synthetic import SyntheticWorkload
+from repro.units import KB
+
+POLICIES = ("greedy", "wear-aware", "cold-swap")
+
+
+def main() -> None:
+    # A deliberately skewed workload: 95% of accesses on 5% of the data.
+    workload = SyntheticWorkload(
+        hot_access_fraction=0.95, hot_data_fraction=0.05
+    )
+    trace = workload.generate(n_ops=12_000, seed=4)
+    print(f"workload: {len(trace)} ops, 95% of traffic on 5% of 6 MB\n")
+
+    print(f"{'policy':>11s} {'energy J':>9s} {'write ms':>9s} "
+          f"{'max erase':>10s} {'mean erase':>11s} {'lifetime':>14s}")
+    for policy in POLICIES:
+        config = SimulationConfig(
+            device="intel-datasheet",
+            flash_utilization=0.9,
+            cleaning_policy=policy,
+            segment_bytes=64 * KB,
+        )
+        result = simulate(trace, config)
+        report = endurance_report(result)
+        life = report.lifetime_hours
+        life_text = (
+            "unbounded" if life == float("inf") else f"{life / 24:,.0f} days"
+        )
+        print(
+            f"{policy:>11s} {result.energy_j:9.1f} "
+            f"{result.write_response.mean_ms:9.3f} "
+            f"{result.wear.max_erasures:10d} "
+            f"{result.wear.mean_erasures:11.2f} {life_text:>14s}"
+        )
+
+    print(
+        "\nleveling narrows the gap between the hottest segment and the "
+        "average one —\nthe hottest segment is what dies first, so that gap "
+        "is the card's lifetime."
+    )
+
+
+if __name__ == "__main__":
+    main()

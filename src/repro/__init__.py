@@ -1,0 +1,67 @@
+"""repro: a reproduction of "Storage Alternatives for Mobile Computers"
+(Douglis, Caceres, Kaashoek, Li, Marsh, Tauber — OSDI 1994).
+
+The package provides:
+
+* :mod:`repro.core` — the trace-driven storage-hierarchy simulator;
+* :mod:`repro.devices` — magnetic disk, flash disk emulator, and flash
+  memory card models with integrated energy accounting;
+* :mod:`repro.flash` — the flash-management substrate (segments, cleaning
+  policies, wear, FTL);
+* :mod:`repro.cache` — DRAM buffer cache and battery-backed SRAM write
+  buffer;
+* :mod:`repro.traces` — trace records, preprocessing, statistics, and the
+  synthetic workload generators standing in for the paper's traces;
+* :mod:`repro.fs` — DOS file-system and Microsoft Flash File System 2.00
+  overhead models;
+* :mod:`repro.testbed` — a software model of the HP OmniBook 300
+  micro-benchmark testbed (Table 1, Figures 1 and 3);
+* :mod:`repro.experiments` — one driver per table/figure in the paper;
+* :mod:`repro.analysis` — battery-life, endurance, and cost analyses.
+
+Quickstart::
+
+    from repro import SimulationConfig, simulate, workload_by_name
+
+    trace = workload_by_name("mac").generate(seed=1, n_ops=20_000)
+    result = simulate(trace, SimulationConfig(device="intel-datasheet"))
+    print(result.energy_j, result.read_response.mean_ms)
+"""
+
+from repro.core.config import SimulationConfig
+from repro.core.metrics import ResponseStats
+from repro.core.results import SimulationResult
+from repro.core.simulator import Simulator, simulate
+from repro.devices.specs import DEVICE_SPECS, device_spec
+from repro.traces.record import Operation, TraceRecord
+from repro.traces.trace import Trace
+from repro.traces.synthetic import SyntheticWorkload
+from repro.traces.workloads import (
+    DosWorkload,
+    HpWorkload,
+    MacWorkload,
+    WorkloadSpec,
+    workload_by_name,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEVICE_SPECS",
+    "DosWorkload",
+    "HpWorkload",
+    "MacWorkload",
+    "Operation",
+    "ResponseStats",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "SyntheticWorkload",
+    "Trace",
+    "TraceRecord",
+    "WorkloadSpec",
+    "device_spec",
+    "simulate",
+    "workload_by_name",
+    "__version__",
+]

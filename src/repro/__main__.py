@@ -1,0 +1,207 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``simulate``  — run a workload against a device and print the Table 4-style row
+* ``generate``  — write a synthetic trace to a file
+* ``analyze``   — characterise a trace file (Table 3 stats + locality toolkit)
+* ``experiment``— run a registered experiment driver (same as the runner)
+* ``devices``   — list registered device parameter sets
+* ``experiments`` — list registered experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.units import KB, MB
+
+
+def _add_simulate(subparsers) -> None:
+    parser = subparsers.add_parser("simulate", help="simulate a workload on a device")
+    parser.add_argument("--workload", default="mac",
+                        help="mac | dos | hp | synth | path to a trace file")
+    parser.add_argument("--device", default="cu140-datasheet")
+    parser.add_argument("--ops", type=int, default=20_000,
+                        help="operations to generate (ignored for trace files)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--dram-kb", type=int, default=2048)
+    parser.add_argument("--sram-kb", type=int, default=32)
+    parser.add_argument("--utilization", type=float, default=0.8)
+    parser.add_argument("--spin-down-s", type=float, default=5.0)
+    parser.add_argument("--no-spin-down", action="store_true")
+    parser.add_argument("--cleaning-policy", default="greedy")
+    parser.add_argument("--write-back", action="store_true")
+
+
+def _add_generate(subparsers) -> None:
+    parser = subparsers.add_parser("generate", help="write a synthetic trace")
+    parser.add_argument("--workload", default="mac", help="mac | dos | hp | synth")
+    parser.add_argument("--ops", type=int, default=10_000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("-o", "--output", required=True)
+
+
+def _add_analyze(subparsers) -> None:
+    parser = subparsers.add_parser("analyze", help="characterise a trace file")
+    parser.add_argument("trace", help="path to a trace file (save_trace format)")
+    parser.add_argument("--cache-kb", type=int, default=2048,
+                        help="LRU size for the predicted hit rate")
+
+
+def _add_experiment(subparsers) -> None:
+    parser = subparsers.add_parser("experiment", help="run an experiment driver")
+    parser.add_argument("experiment_id")
+    parser.add_argument("--scale", type=float, default=0.2)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_simulate(subparsers)
+    _add_generate(subparsers)
+    _add_analyze(subparsers)
+    _add_experiment(subparsers)
+    subparsers.add_parser("devices", help="list device parameter sets")
+    subparsers.add_parser("experiments", help="list experiment drivers")
+    return parser
+
+
+def _load_workload(name: str, ops: int, seed: int):
+    from repro.traces.io import load_trace
+    from repro.traces.synthetic import SyntheticWorkload
+    from repro.traces.workloads import workload_by_name
+
+    if name == "synth":
+        return SyntheticWorkload().generate(n_ops=ops, seed=seed)
+    if name in ("mac", "dos", "hp"):
+        return workload_by_name(name).generate(seed=seed, n_ops=ops)
+    return load_trace(name)
+
+
+def cmd_simulate(args) -> int:
+    from repro.core.config import SimulationConfig
+    from repro.core.simulator import simulate
+
+    trace = _load_workload(args.workload, args.ops, args.seed)
+    config = SimulationConfig(
+        device=args.device,
+        dram_bytes=args.dram_kb * KB,
+        sram_bytes=args.sram_kb * KB,
+        flash_utilization=args.utilization,
+        spin_down_timeout_s=None if args.no_spin_down else args.spin_down_s,
+        cleaning_policy=args.cleaning_policy,
+        write_back=args.write_back,
+    )
+    result = simulate(trace, config)
+    print(f"trace       {result.trace_name} ({len(trace)} ops, "
+          f"{trace.duration:.0f} s)")
+    print(f"device      {result.device_name}")
+    print(f"energy      {result.energy_j:.1f} J "
+          f"({result.energy_j / max(result.duration_s, 1e-9):.3f} W average)")
+    print(f"reads       {result.n_reads}: mean {result.read_response.mean_ms:.3f} ms, "
+          f"p95 {result.read_response.p95_ms:.2f} ms, "
+          f"max {result.read_response.max_ms:.1f} ms")
+    print(f"writes      {result.n_writes}: mean {result.write_response.mean_ms:.3f} ms, "
+          f"p95 {result.write_response.p95_ms:.2f} ms, "
+          f"max {result.write_response.max_ms:.1f} ms")
+    if result.dram_hit_rate is not None:
+        print(f"dram hits   {result.dram_hit_rate:.1%}")
+    if result.wear is not None:
+        print(f"wear        max {result.wear.max_erasures} erases/segment, "
+              f"mean {result.wear.mean_erasures:.2f}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    from repro.traces.io import save_trace
+
+    trace = _load_workload(args.workload, args.ops, args.seed)
+    save_trace(trace, args.output)
+    print(f"wrote {len(trace)} records to {args.output}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    from repro.traces.analysis import (
+        burstiness,
+        lru_hit_rate,
+        sequentiality,
+        write_concentration,
+    )
+    from repro.traces.io import load_trace
+    from repro.traces.stats import compute_statistics
+
+    trace = load_trace(args.trace)
+    stats = compute_statistics(trace)
+    print(f"trace          {trace.name}: {len(trace)} records, "
+          f"{stats.duration_s:.0f} s")
+    print(f"distinct data  {stats.distinct_kbytes:.0f} KB "
+          f"(block size {stats.block_size_kbytes:g} KB)")
+    print(f"reads          {stats.fraction_reads:.1%} of ops, "
+          f"mean {stats.mean_read_blocks:.2f} blocks")
+    print(f"writes         mean {stats.mean_write_blocks:.2f} blocks")
+    print(f"inter-arrival  mean {stats.interarrival_mean_s:.3f} s, "
+          f"max {stats.interarrival_max_s:.1f} s, "
+          f"sigma {stats.interarrival_std_s:.2f} s")
+    gaps = burstiness(trace)
+    print(f"burstiness     {gaps.long_gap_fraction:.2%} of gaps > 5 s, "
+          f"covering {gaps.long_gap_time_fraction:.1%} of wall time")
+    print(f"sequentiality  {sequentiality(trace):.1%} of ops continue the "
+          f"previous one")
+    writes = write_concentration(trace)
+    if writes.write_block_events:
+        print(f"write reuse    each written block rewritten "
+              f"{writes.rewrite_factor:.1f}x on average; 90% of write "
+              f"traffic on {writes.hot_fraction_for_90pct:.1%} of written blocks")
+    cache_blocks = args.cache_kb * KB // trace.block_size
+    print(f"LRU hit rate   {lru_hit_rate(trace, cache_blocks):.1%} at "
+          f"{args.cache_kb} KB")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.experiments.runner import run_experiment
+
+    print(run_experiment(args.experiment_id, scale=args.scale).render())
+    return 0
+
+
+def cmd_devices(args) -> int:
+    from repro.devices.specs import DEVICE_SPECS
+
+    for name, spec in sorted(DEVICE_SPECS.items()):
+        kind = type(spec).__name__.replace("Spec", "")
+        capacity = spec.capacity_bytes / MB
+        print(f"{name:20s} {kind:10s} {capacity:6.0f} MB  "
+              f"active {spec.active_power_w:.2f} W")
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments.registry import all_experiments
+
+    for experiment_id, experiment in sorted(all_experiments().items()):
+        print(f"{experiment_id:22s} {experiment.paper_ref:36s} {experiment.title}")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": cmd_simulate,
+    "generate": cmd_generate,
+    "analyze": cmd_analyze,
+    "experiment": cmd_experiment,
+    "devices": cmd_devices,
+    "experiments": cmd_experiments,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

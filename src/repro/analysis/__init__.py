@@ -1,0 +1,16 @@
+"""Derived analyses: battery-life extension (the paper's 22% headline),
+flash endurance projection, and the cost trade-offs the paper discusses
+($/Mbyte, DRAM vs. flash spending).
+"""
+
+from repro.analysis.battery import BatteryModel, battery_extension
+from repro.analysis.endurance import endurance_report
+from repro.analysis.cost import StorageCost, cost_comparison
+
+__all__ = [
+    "BatteryModel",
+    "StorageCost",
+    "battery_extension",
+    "cost_comparison",
+    "endurance_report",
+]

@@ -1,0 +1,93 @@
+"""Storage cost arithmetic (1994 prices).
+
+The paper's introduction: flash "costs more than disks — $30-50/Mbyte,
+compared to $1-5/Mbyte for magnetic disks"; section 5.4 asks "whether it is
+better to spend money on additional DRAM or additional flash", and section
+5.5 notes a 32-Kbyte SRAM write buffer "costs only a few dollars".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import MB
+
+#: 1994 price ranges, dollars per Mbyte (paper section 1 / section 5.5).
+FLASH_DOLLARS_PER_MB = (30.0, 50.0)
+DISK_DOLLARS_PER_MB = (1.0, 5.0)
+DRAM_DOLLARS_PER_MB = (25.0, 40.0)
+SRAM_DOLLARS_PER_32KB = (2.0, 5.0)
+
+
+@dataclass(frozen=True)
+class StorageCost:
+    """Price estimate for one storage configuration."""
+
+    description: str
+    low_dollars: float
+    high_dollars: float
+
+    @property
+    def midpoint_dollars(self) -> float:
+        """Midpoint of the price range."""
+        return (self.low_dollars + self.high_dollars) / 2.0
+
+
+def flash_cost(nbytes: int) -> StorageCost:
+    """Price range for ``nbytes`` of flash memory."""
+    megabytes = nbytes / MB
+    return StorageCost(
+        description=f"{megabytes:.1f} MB flash",
+        low_dollars=megabytes * FLASH_DOLLARS_PER_MB[0],
+        high_dollars=megabytes * FLASH_DOLLARS_PER_MB[1],
+    )
+
+
+def disk_cost(nbytes: int) -> StorageCost:
+    """Price range for ``nbytes`` of magnetic disk."""
+    megabytes = nbytes / MB
+    return StorageCost(
+        description=f"{megabytes:.1f} MB disk",
+        low_dollars=megabytes * DISK_DOLLARS_PER_MB[0],
+        high_dollars=megabytes * DISK_DOLLARS_PER_MB[1],
+    )
+
+
+def dram_cost(nbytes: int) -> StorageCost:
+    """Price range for ``nbytes`` of DRAM."""
+    megabytes = nbytes / MB
+    return StorageCost(
+        description=f"{megabytes:.1f} MB DRAM",
+        low_dollars=megabytes * DRAM_DOLLARS_PER_MB[0],
+        high_dollars=megabytes * DRAM_DOLLARS_PER_MB[1],
+    )
+
+
+def sram_cost(nbytes: int) -> StorageCost:
+    """Price range for ``nbytes`` of battery-backed SRAM."""
+    chips = max(1, nbytes // (32 * 1024))
+    return StorageCost(
+        description=f"{nbytes // 1024} KB SRAM",
+        low_dollars=chips * SRAM_DOLLARS_PER_32KB[0],
+        high_dollars=chips * SRAM_DOLLARS_PER_32KB[1],
+    )
+
+
+def cost_comparison(capacity_bytes: int) -> dict[str, StorageCost]:
+    """Flash vs. disk price ranges at the same capacity (the paper's
+    '$30-50/Mbyte vs $1-5/Mbyte' comparison)."""
+    if capacity_bytes <= 0:
+        raise ConfigurationError("capacity must be positive")
+    return {
+        "flash": flash_cost(capacity_bytes),
+        "disk": disk_cost(capacity_bytes),
+    }
+
+
+def dollars_per_mb_tradeoff(dram_bytes: int, flash_bytes: int) -> dict[str, float]:
+    """Midpoint prices for a DRAM-vs-flash spending decision (section 5.4)."""
+    return {
+        "dram_dollars": dram_cost(dram_bytes).midpoint_dollars,
+        "flash_dollars": flash_cost(flash_bytes).midpoint_dollars,
+    }

@@ -1,0 +1,59 @@
+"""Flash endurance (burn-out) projection.
+
+Section 5.2: "higher storage utilizations can result in 'burning out' the
+flash two to three times faster under this workload" — the maximum
+per-segment erase count is what bounds the card's life against the
+manufacturer's cycle budget (100,000 for the Series 2, one million for the
+Series 2+).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.results import SimulationResult
+from repro.errors import ConfigurationError
+from repro.flash.wear import WearStats
+
+
+@dataclass(frozen=True)
+class EnduranceReport:
+    """Lifetime projection for one flash-card simulation."""
+
+    wear: WearStats
+    #: projected hours until the hottest segment exhausts its erase budget
+    lifetime_hours: float
+    #: erase-count ratio against a baseline run (>1 = wears out faster)
+    wear_ratio_vs_baseline: float | None = None
+
+    @property
+    def lifetime_years(self) -> float:
+        """Projected lifetime in years of continuous simulated workload."""
+        return self.lifetime_hours / (24 * 365)
+
+
+def endurance_report(
+    result: SimulationResult,
+    baseline: SimulationResult | None = None,
+) -> EnduranceReport:
+    """Build an endurance projection from a flash-card simulation result.
+
+    Args:
+        result: a simulation whose device was a flash card.
+        baseline: optional reference run (e.g. the 40%-utilization
+            configuration) for the burn-out ratio.
+    """
+    if result.wear is None:
+        raise ConfigurationError(
+            "endurance_report needs a flash-card result (no wear data found)"
+        )
+    ratio = None
+    if baseline is not None:
+        if baseline.wear is None:
+            raise ConfigurationError("baseline has no wear data")
+        ratio = result.wear.wear_ratio(baseline.wear)
+    return EnduranceReport(
+        wear=result.wear,
+        lifetime_hours=result.wear.lifetime_hours(),
+        wear_ratio_vs_baseline=ratio,
+    )

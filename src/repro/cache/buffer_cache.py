@@ -1,0 +1,156 @@
+"""The DRAM buffer cache.
+
+"Our simulator models a storage hierarchy containing a buffer cache and
+non-volatile storage.  The buffer cache is the first level searched on a
+read and is the target of all write operations.  The cache is write-through
+to non-volatile storage, which is typical of Macintosh and some DOS
+environments.  A write-back cache might avoid some erasures at the cost of
+occasional data loss.  ...  the buffer cache can have zero size, in which
+case reads and writes go directly to non-volatile storage."  (paper 4.2)
+
+Both modes are implemented; write-back exists for ablation A4.  DRAM energy
+has a standby component proportional to size (refresh never stops), which
+is what makes "spend money on more DRAM vs. more flash" a real trade-off in
+the paper's Figure 4.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.devices.power import EnergyMeter
+from repro.devices.specs import MemorySpec
+from repro.errors import ConfigurationError
+from repro.units import transfer_time
+
+
+class BufferCache:
+    """A block-granular DRAM cache.
+
+    Args:
+        capacity_bytes: cache size; 0 disables the cache entirely.
+        block_bytes: cache-block size (the trace's file-system block size).
+        spec: DRAM part parameters (timing and power).
+        policy: eviction policy (default LRU).
+        write_back: hold dirty blocks instead of writing through.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        block_bytes: int,
+        spec: MemorySpec,
+        policy=None,
+        write_back: bool = False,
+    ) -> None:
+        if capacity_bytes < 0:
+            raise ConfigurationError("capacity_bytes must be >= 0")
+        if block_bytes <= 0:
+            raise ConfigurationError("block_bytes must be positive")
+        from repro.cache.policies import LruPolicy
+
+        self.capacity_bytes = capacity_bytes
+        self.block_bytes = block_bytes
+        self.capacity_blocks = capacity_bytes // block_bytes
+        self.spec = spec
+        self.policy = policy if policy is not None else LruPolicy()
+        self.write_back = write_back
+        self.energy = EnergyMeter(f"dram-{capacity_bytes}B")
+        self.clock = 0.0
+        self.hits = 0
+        self.misses = 0
+        self._dirty: set[int] = set()
+
+    @property
+    def enabled(self) -> bool:
+        """False for the zero-size configuration (the ``hp`` trace)."""
+        return self.capacity_blocks > 0
+
+    # -- energy ------------------------------------------------------------------
+
+    def advance(self, until: float) -> None:
+        """Charge standby (refresh) power up to ``until``."""
+        if until <= self.clock:
+            return
+        standby_w = self.spec.standby_power_w_per_byte * self.capacity_bytes
+        self.energy.charge("standby", standby_w, until - self.clock)
+        self.clock = until
+
+    def access_time(self, nbytes: int) -> float:
+        """Time to move ``nbytes`` through the cache, charging active power."""
+        if nbytes <= 0 or not self.enabled:
+            return 0.0
+        duration = self.spec.access_latency_s + transfer_time(
+            nbytes, self.spec.bandwidth_bps
+        )
+        self.energy.charge("active", self.spec.active_power_w, duration)
+        return duration
+
+    # -- lookup / install ------------------------------------------------------------
+
+    def lookup(self, blocks: Sequence[int]) -> tuple[list[int], list[int]]:
+        """Partition ``blocks`` into (hits, misses), touching the hits."""
+        if not self.enabled:
+            return [], list(blocks)
+        hit_list: list[int] = []
+        miss_list: list[int] = []
+        for block in blocks:
+            if block in self.policy:
+                self.policy.touch(block)
+                hit_list.append(block)
+            else:
+                miss_list.append(block)
+        self.hits += len(hit_list)
+        self.misses += len(miss_list)
+        return hit_list, miss_list
+
+    def install(self, blocks: Iterable[int], dirty: bool = False) -> list[int]:
+        """Make ``blocks`` resident; returns evicted *dirty* blocks that the
+        caller must write to the device (write-back mode only)."""
+        if not self.enabled:
+            return []
+        evicted_dirty: list[int] = []
+        for block in blocks:
+            if block in self.policy:
+                self.policy.touch(block)
+            else:
+                while len(self.policy) >= self.capacity_blocks:
+                    victim = self.policy.evict()
+                    if victim in self._dirty:
+                        self._dirty.discard(victim)
+                        evicted_dirty.append(victim)
+                self.policy.insert(block)
+            if dirty and self.write_back:
+                self._dirty.add(block)
+        return evicted_dirty
+
+    def invalidate(self, blocks: Iterable[int]) -> None:
+        """Drop ``blocks`` (file deletion)."""
+        if not self.enabled:
+            return
+        for block in blocks:
+            self.policy.remove(block)
+            self._dirty.discard(block)
+
+    def drain_dirty(self) -> list[int]:
+        """Return and clear all dirty blocks (end-of-simulation flush)."""
+        dirty = sorted(self._dirty)
+        self._dirty.clear()
+        return dirty
+
+    @property
+    def dirty_blocks(self) -> int:
+        """Number of resident dirty blocks (write-back mode)."""
+        return len(self._dirty)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of looked-up blocks found resident."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_accounting(self) -> None:
+        """Zero energy and hit counters (warm-start boundary)."""
+        self.energy.reset()
+        self.hits = 0
+        self.misses = 0

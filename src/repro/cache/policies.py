@@ -1,0 +1,152 @@
+"""Eviction policies for the DRAM buffer cache.
+
+The paper does not name its replacement policy; LRU is the natural default
+for a 1994 buffer cache (and what the Macintosh and DOS caches of the era
+approximated).  FIFO and random are provided for sensitivity checks.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+
+from repro.errors import ConfigurationError
+
+
+class EvictionPolicy(ABC):
+    """Tracks resident blocks and chooses eviction victims."""
+
+    @abstractmethod
+    def touch(self, block: int) -> None:
+        """Record an access to a resident block."""
+
+    @abstractmethod
+    def insert(self, block: int) -> None:
+        """Record that ``block`` became resident."""
+
+    @abstractmethod
+    def evict(self) -> int:
+        """Choose and remove a victim; returns its block number."""
+
+    @abstractmethod
+    def remove(self, block: int) -> None:
+        """Forget ``block`` (invalidation), if present."""
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def __contains__(self, block: int) -> bool: ...
+
+
+class LruPolicy(EvictionPolicy):
+    """Least-recently-used eviction."""
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    def touch(self, block: int) -> None:
+        self._order.move_to_end(block)
+
+    def insert(self, block: int) -> None:
+        self._order[block] = None
+        self._order.move_to_end(block)
+
+    def evict(self) -> int:
+        block, _ = self._order.popitem(last=False)
+        return block
+
+    def remove(self, block: int) -> None:
+        self._order.pop(block, None)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._order
+
+
+class FifoPolicy(EvictionPolicy):
+    """First-in-first-out eviction (insertion order, accesses ignored)."""
+
+    def __init__(self) -> None:
+        self._order: OrderedDict[int, None] = OrderedDict()
+
+    def touch(self, block: int) -> None:
+        pass  # FIFO ignores recency
+
+    def insert(self, block: int) -> None:
+        if block not in self._order:
+            self._order[block] = None
+
+    def evict(self) -> int:
+        block, _ = self._order.popitem(last=False)
+        return block
+
+    def remove(self, block: int) -> None:
+        self._order.pop(block, None)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._order
+
+
+class RandomPolicy(EvictionPolicy):
+    """Uniform-random eviction (seeded for reproducibility)."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+        self._blocks: dict[int, int] = {}  # block -> position in _list
+        self._list: list[int] = []
+
+    def touch(self, block: int) -> None:
+        pass
+
+    def insert(self, block: int) -> None:
+        if block not in self._blocks:
+            self._blocks[block] = len(self._list)
+            self._list.append(block)
+
+    def evict(self) -> int:
+        index = self._rng.randrange(len(self._list))
+        block = self._list[index]
+        self._swap_remove(block, index)
+        return block
+
+    def remove(self, block: int) -> None:
+        index = self._blocks.get(block)
+        if index is not None:
+            self._swap_remove(block, index)
+
+    def _swap_remove(self, block: int, index: int) -> None:
+        last = self._list[-1]
+        self._list[index] = last
+        self._blocks[last] = index
+        self._list.pop()
+        del self._blocks[block]
+
+    def __len__(self) -> int:
+        return len(self._list)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._blocks
+
+
+_POLICIES = {
+    "lru": LruPolicy,
+    "fifo": FifoPolicy,
+    "random": RandomPolicy,
+}
+
+
+def eviction_policy(name: str) -> EvictionPolicy:
+    """Build an eviction policy by name (``lru``, ``fifo``, ``random``)."""
+    try:
+        return _POLICIES[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown eviction policy {name!r}; available: {sorted(_POLICIES)}"
+        ) from None

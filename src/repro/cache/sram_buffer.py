@@ -1,0 +1,123 @@
+"""The battery-backed SRAM write buffer.
+
+"Writes to the disk can be buffered in battery-backed SRAM, not only
+improving performance, but also allowing small writes to a spun-down disk
+to proceed without spinning it up.  The Quantum Daytona is an example of a
+drive with this sort of buffering."  (paper section 2)
+
+"We assume that writes to SRAM can be recovered after a crash, so
+synchronous writes that fit in SRAM are made asynchronous with respect to
+the disk."  (paper section 5.5)
+
+The buffer holds dirty blocks; the storage hierarchy decides when to flush
+(in the background whenever the device is accessed synchronously anyway,
+or synchronously when an incoming write does not fit).  Reads are served
+from the buffer when they hit it (paper footnote 3: reads "serviced from
+recent writes to SRAM").
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterable, Sequence
+
+from repro.devices.power import EnergyMeter
+from repro.devices.specs import MemorySpec
+from repro.errors import ConfigurationError
+from repro.units import transfer_time
+
+
+class SramWriteBuffer:
+    """A block-granular NVRAM write buffer in front of a storage device."""
+
+    def __init__(self, capacity_bytes: int, block_bytes: int, spec: MemorySpec) -> None:
+        if capacity_bytes < 0:
+            raise ConfigurationError("capacity_bytes must be >= 0")
+        if block_bytes <= 0:
+            raise ConfigurationError("block_bytes must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.block_bytes = block_bytes
+        self.capacity_blocks = capacity_bytes // block_bytes
+        self.spec = spec
+        self.energy = EnergyMeter(f"sram-{capacity_bytes}B")
+        self.clock = 0.0
+        self._dirty: OrderedDict[int, None] = OrderedDict()
+        self.absorbed_writes = 0
+        self.sync_flushes = 0
+        self.background_flushes = 0
+
+    @property
+    def enabled(self) -> bool:
+        """False when sized zero (the paper's no-SRAM baseline)."""
+        return self.capacity_blocks > 0
+
+    @property
+    def dirty_count(self) -> int:
+        """Buffered dirty blocks awaiting flush."""
+        return len(self._dirty)
+
+    @property
+    def free_blocks(self) -> int:
+        """Unoccupied block slots."""
+        return self.capacity_blocks - len(self._dirty)
+
+    # -- energy ---------------------------------------------------------------
+
+    def advance(self, until: float) -> None:
+        """Charge data-retention (standby) power up to ``until``."""
+        if until <= self.clock:
+            return
+        standby_w = self.spec.standby_power_w_per_byte * self.capacity_bytes
+        self.energy.charge("standby", standby_w, until - self.clock)
+        self.clock = until
+
+    def access_time(self, nbytes: int) -> float:
+        """Time to move ``nbytes`` through the SRAM, charging active power."""
+        if nbytes <= 0 or not self.enabled:
+            return 0.0
+        duration = self.spec.access_latency_s + transfer_time(
+            nbytes, self.spec.bandwidth_bps
+        )
+        self.energy.charge("active", self.spec.active_power_w, duration)
+        return duration
+
+    # -- buffering ---------------------------------------------------------------
+
+    def contains(self, block: int) -> bool:
+        """True if ``block`` has a buffered (newer-than-device) copy."""
+        return block in self._dirty
+
+    def fits(self, blocks: Sequence[int]) -> bool:
+        """Would buffering ``blocks`` (re-writes excluded) fit right now?"""
+        new = sum(1 for block in blocks if block not in self._dirty)
+        return new <= self.free_blocks
+
+    def can_ever_fit(self, blocks: Sequence[int]) -> bool:
+        """Could ``blocks`` fit in an empty buffer?  (If not, the write must
+        bypass the buffer entirely.)"""
+        return len(set(blocks)) <= self.capacity_blocks
+
+    def add(self, blocks: Iterable[int]) -> None:
+        """Buffer ``blocks`` as dirty.  Caller must have checked ``fits``."""
+        for block in blocks:
+            self._dirty[block] = None
+            self._dirty.move_to_end(block)
+        self.absorbed_writes += 1
+
+    def drain(self) -> list[int]:
+        """Return and clear all buffered blocks (a flush)."""
+        blocks = list(self._dirty)
+        self._dirty.clear()
+        return blocks
+
+    def invalidate(self, blocks: Iterable[int]) -> None:
+        """Drop buffered copies of deleted blocks."""
+        for block in blocks:
+            self._dirty.pop(block, None)
+
+    def reset_accounting(self) -> None:
+        """Zero energy and counters (warm-start boundary)."""
+        self.energy.reset()
+        self.absorbed_writes = 0
+        self.sync_flushes = 0
+        self.background_flushes = 0

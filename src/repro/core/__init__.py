@@ -1,0 +1,22 @@
+"""The paper's primary contribution: a trace-driven simulator of mobile
+storage hierarchies (DRAM buffer cache -> optional SRAM write buffer ->
+disk / flash disk / flash card) that reports energy consumption and
+read/write response-time statistics.
+"""
+
+from repro.core.config import SimulationConfig
+from repro.core.metrics import ResponseAccumulator, ResponseStats
+from repro.core.results import SimulationResult
+from repro.core.hierarchy import StorageHierarchy, build_hierarchy
+from repro.core.simulator import Simulator, simulate
+
+__all__ = [
+    "ResponseAccumulator",
+    "ResponseStats",
+    "SimulationConfig",
+    "SimulationResult",
+    "Simulator",
+    "StorageHierarchy",
+    "build_hierarchy",
+    "simulate",
+]

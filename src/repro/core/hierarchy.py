@@ -1,0 +1,387 @@
+"""Storage-hierarchy assembly and operation dispatch.
+
+A hierarchy is DRAM buffer cache -> optional battery-backed SRAM write
+buffer -> non-volatile device.  ``read``/``write`` implement the paper's
+semantics:
+
+* the buffer cache is searched first on reads and is the target of all
+  writes (write-through by default, section 4.2);
+* SRAM absorbs writes that fit, letting them complete without touching —
+  or spinning up — the device (sections 2, 5.5); buffered blocks serve
+  reads (footnote 3);
+* the SRAM drains in the background whenever the device is accessed
+  synchronously anyway, and synchronously when an incoming write finds the
+  buffer full ("many writes will be delayed as they wait for the disk",
+  section 5.5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+from repro.cache.buffer_cache import BufferCache
+from repro.cache.policies import eviction_policy
+from repro.cache.sram_buffer import SramWriteBuffer
+from repro.core.config import SimulationConfig
+from repro.devices.base import StorageDevice
+from repro.devices.disk import MagneticDisk
+from repro.devices.flashcard import FlashCard
+from repro.devices.flashdisk import FlashDisk
+from repro.devices.specs import (
+    DiskSpec,
+    FlashCardSpec,
+    FlashDiskSpec,
+    device_spec,
+    memory_spec,
+)
+from repro.devices.spindown import FixedTimeoutPolicy, NeverSpinDownPolicy
+from repro.errors import ConfigurationError
+from repro.flash.cleaner import cleaning_policy
+from repro.traces.record import BlockOp
+
+#: pseudo file id used for batched buffer flushes (forces one average seek)
+_FLUSH_FILE_ID = -1
+
+
+class StorageHierarchy:
+    """A DRAM cache, an optional SRAM write buffer, and a device."""
+
+    def __init__(
+        self,
+        device: StorageDevice,
+        dram: BufferCache | None,
+        sram: SramWriteBuffer | None,
+        block_bytes: int,
+        response_includes_queueing: bool = False,
+    ) -> None:
+        self.device = device
+        self.dram = dram if dram is not None and dram.enabled else None
+        self.sram = sram if sram is not None and sram.enabled else None
+        self.block_bytes = block_bytes
+        self.write_back = bool(dram and dram.write_back)
+        self.response_includes_queueing = response_includes_queueing
+
+    # -- time/energy bookkeeping ---------------------------------------------------
+
+    def advance(self, until: float) -> None:
+        """Move every component's accounting clock forward to ``until``."""
+        if self.dram is not None:
+            self.dram.advance(until)
+        if self.sram is not None:
+            self.sram.advance(until)
+        if until > self.device.clock:
+            self.device.advance(until)
+
+    def latest_time(self) -> float:
+        """The latest point any component has reached."""
+        return max(self.device.busy_until, self.device.clock)
+
+    def finalize(self, until: float) -> None:
+        """Flush volatile dirty state and close energy accounting.
+
+        Dirty blocks in a write-back DRAM cache must reach the device (DRAM
+        is volatile); SRAM contents may stay buffered (battery-backed).
+        """
+        if self.write_back and self.dram is not None:
+            dirty = self.dram.drain_dirty()
+            if dirty:
+                self._write_device(self.latest_time(), dirty)
+        end = max(until, self.latest_time())
+        self.advance(end)
+
+    def reset_accounting(self) -> None:
+        """Zero all energy meters and counters (warm-start boundary)."""
+        self.device.reset_accounting()
+        if self.dram is not None:
+            self.dram.reset_accounting()
+        if self.sram is not None:
+            self.sram.reset_accounting()
+
+    def energy_breakdown(self) -> dict[str, dict[str, float]]:
+        """Per-component, per-bucket energy in Joules."""
+        breakdown = {"device": self.device.energy.breakdown()}
+        if self.dram is not None:
+            breakdown["dram"] = self.dram.energy.breakdown()
+        if self.sram is not None:
+            breakdown["sram"] = self.sram.energy.breakdown()
+        return breakdown
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total energy across all components, Joules."""
+        return sum(
+            sum(buckets.values()) for buckets in self.energy_breakdown().values()
+        )
+
+    # -- operation dispatch -----------------------------------------------------------
+
+    def read(self, op: BlockOp) -> float:
+        """Execute a read; returns its response time in seconds."""
+        at = op.time
+        self.advance(at)
+        now = at
+
+        if self.dram is not None:
+            hits, misses = self.dram.lookup(op.blocks)
+            now += self.dram.access_time(len(hits) * self.block_bytes)
+        else:
+            hits, misses = [], list(op.blocks)
+
+        if misses:
+            if self.sram is not None:
+                buffered = [b for b in misses if self.sram.contains(b)]
+                device_blocks = [b for b in misses if not self.sram.contains(b)]
+                now += self.sram.access_time(len(buffered) * self.block_bytes)
+            else:
+                device_blocks = misses
+            if device_blocks:
+                queue_wait = self._queue_wait(now)
+                before = now
+                now = self.device.read(
+                    now, len(device_blocks) * self.block_bytes, device_blocks, op.file_id
+                )
+                # Never subtract more waiting than actually elapsed (a
+                # composite device may have been busy on only one leg).
+                now -= min(queue_wait, max(0.0, now - before))
+                self._background_flush()
+            if self.dram is not None:
+                evicted = self.dram.install(misses)
+                if evicted:
+                    # Write-back mode: evicted dirty blocks must be written
+                    # out before their frames are reused.
+                    now = self._write_device(now, evicted)
+        return now - at
+
+    def write(self, op: BlockOp) -> float:
+        """Execute a write; returns its response time in seconds."""
+        at = op.time
+        self.advance(at)
+        now = at
+
+        if self.dram is not None:
+            evicted = self.dram.install(op.blocks, dirty=self.write_back)
+            now += self.dram.access_time(op.size)
+            if evicted:
+                now = self._write_device(now, evicted)
+
+        if self.write_back:
+            return now - at  # absorbed; the device sees it on eviction
+
+        if self.sram is not None and self.sram.can_ever_fit(op.blocks):
+            if not self.sram.fits(op.blocks):
+                flush_blocks = self.sram.drain()
+                self.sram.sync_flushes += 1
+                now = self._write_device(now, flush_blocks)
+            self.sram.add(op.blocks)
+            now += self.sram.access_time(op.size)
+            # Write-behind: while the device is awake anyway, drain right
+            # away (keeps a spinning disk's idle timer fresh); to a sleeping
+            # disk, hold the data and defer the spin-up (paper section 2).
+            if self.device.accepts_immediate_flush():
+                # The drained data is overwhelmingly the write that just
+                # landed, so charge seeks as if it were that file's.
+                self._background_flush(file_id=op.file_id)
+        else:
+            if self.sram is not None:
+                # Bypassing the buffer: drop stale buffered versions so a
+                # later flush cannot overwrite this newer data.
+                self.sram.invalidate(op.blocks)
+            queue_wait = self._queue_wait(now)
+            before = now
+            now = self.device.write(now, op.size, op.blocks, op.file_id)
+            now -= min(queue_wait, max(0.0, now - before))
+            self._background_flush()
+        return now - at
+
+    def delete(self, op: BlockOp) -> None:
+        """Execute a whole-file deletion (metadata-only, no response time)."""
+        self.advance(op.time)
+        if self.dram is not None:
+            self.dram.invalidate(op.blocks)
+        if self.sram is not None:
+            self.sram.invalidate(op.blocks)
+        self.device.delete(op.time, op.blocks)
+
+    # -- helpers ---------------------------------------------------------------------
+
+    def _queue_wait(self, now: float) -> float:
+        """Time this request would spend queued behind an in-flight
+        operation; subtracted from responses unless the configuration asks
+        for queueing-inclusive reporting."""
+        if self.response_includes_queueing:
+            return 0.0
+        return max(0.0, self.device.busy_until - now)
+
+    def _write_device(self, now: float, blocks: list[int]) -> float:
+        """Synchronous batched device write (flushes, evictions)."""
+        return self.device.write(
+            now, len(blocks) * self.block_bytes, blocks, _FLUSH_FILE_ID
+        )
+
+    def _background_flush(self, file_id: int = _FLUSH_FILE_ID) -> None:
+        """Drain the SRAM buffer behind a device access that already
+        happened: the device is active (and, for a disk, spinning), so the
+        flush costs time and energy on the device but does not delay the
+        foreground operation."""
+        if self.sram is None or self.sram.dirty_count == 0:
+            return
+        blocks = self.sram.drain()
+        self.sram.background_flushes += 1
+        start = max(self.device.busy_until, self.device.clock)
+        self.device.write(start, len(blocks) * self.block_bytes, blocks, file_id)
+
+
+# ---------------------------------------------------------------------------
+# Assembly
+# ---------------------------------------------------------------------------
+
+
+def build_hierarchy(
+    config: SimulationConfig,
+    block_bytes: int,
+    dataset_blocks: int,
+) -> StorageHierarchy:
+    """Construct the hierarchy ``config`` describes for a trace whose
+    preprocessed dataset spans ``dataset_blocks`` device blocks."""
+    spec = device_spec(config.device)
+    dram = _build_dram(config, block_bytes)
+
+    if isinstance(spec, DiskSpec):
+        device = _build_disk(config, spec)
+        if config.flash_cache_bytes > 0:
+            device = _wrap_flash_cache(config, device, block_bytes)
+        sram = _build_sram(config, block_bytes) if config.sram_bytes else None
+    elif isinstance(spec, FlashDiskSpec):
+        device = _build_flash_disk(config, spec, block_bytes, dataset_blocks)
+        sram = _build_sram(config, block_bytes) if config.sram_on_flash else None
+    elif isinstance(spec, FlashCardSpec):
+        device = _build_flash_card(config, spec, block_bytes, dataset_blocks)
+        sram = _build_sram(config, block_bytes) if config.sram_on_flash else None
+    else:  # pragma: no cover - registry guarantees the three spec types
+        raise ConfigurationError(f"unsupported device spec type: {type(spec)!r}")
+
+    return StorageHierarchy(
+        device,
+        dram,
+        sram,
+        block_bytes,
+        response_includes_queueing=config.response_includes_queueing,
+    )
+
+
+def _build_dram(config: SimulationConfig, block_bytes: int) -> BufferCache | None:
+    if config.dram_bytes <= 0:
+        return None
+    return BufferCache(
+        config.dram_bytes,
+        block_bytes,
+        memory_spec(config.dram_spec),
+        policy=eviction_policy(config.eviction_policy),
+        write_back=config.write_back,
+    )
+
+
+def _build_sram(config: SimulationConfig, block_bytes: int) -> SramWriteBuffer:
+    return SramWriteBuffer(config.sram_bytes, block_bytes, memory_spec(config.sram_spec))
+
+
+def _build_disk(config: SimulationConfig, spec: DiskSpec) -> MagneticDisk:
+    if config.spin_down_timeout_s is None:
+        policy = NeverSpinDownPolicy()
+    else:
+        policy = FixedTimeoutPolicy(config.spin_down_timeout_s)
+    return MagneticDisk(spec, policy)
+
+
+def _wrap_flash_cache(
+    config: SimulationConfig,
+    disk: MagneticDisk,
+    block_bytes: int,
+) -> StorageDevice:
+    """Front ``disk`` with a flash-card block cache (extension X1)."""
+    from repro.devices.flashcache import FlashCacheDevice
+
+    card_spec = device_spec(config.flash_cache_spec)
+    if not isinstance(card_spec, FlashCardSpec):
+        raise ConfigurationError(
+            f"flash_cache_spec must name a flash card, got {card_spec.name!r}"
+        )
+    segment = card_spec.segment_bytes
+    capacity = max(4 * segment, (config.flash_cache_bytes // segment) * segment)
+    flash = FlashCard(
+        card_spec,
+        capacity_bytes=capacity,
+        block_bytes=block_bytes,
+        policy=cleaning_policy(config.cleaning_policy),
+    )
+    return FlashCacheDevice(disk, flash)
+
+
+def _build_flash_disk(
+    config: SimulationConfig,
+    spec: FlashDiskSpec,
+    block_bytes: int,
+    dataset_blocks: int,
+) -> FlashDisk:
+    dataset_bytes = dataset_blocks * block_bytes
+    capacity = config.flash_capacity_bytes
+    if capacity is None:
+        needed = dataset_bytes / config.flash_utilization
+        capacity = int(math.ceil(needed / block_bytes)) * block_bytes
+        capacity = max(capacity, 4 * block_bytes)
+    if capacity < dataset_bytes:
+        raise ConfigurationError(
+            f"flash disk capacity {capacity} cannot hold the trace's "
+            f"{dataset_bytes}-byte dataset"
+        )
+    device = FlashDisk(
+        spec,
+        capacity_bytes=capacity,
+        block_bytes=block_bytes,
+        async_erase=config.async_erase,
+    )
+    capacity_blocks = capacity // block_bytes
+    target_live = max(dataset_blocks, int(config.flash_utilization * capacity_blocks))
+    device.preload(min(target_live, capacity_blocks))
+    return device
+
+
+def _build_flash_card(
+    config: SimulationConfig,
+    spec: FlashCardSpec,
+    block_bytes: int,
+    dataset_blocks: int,
+) -> FlashCard:
+    if config.segment_bytes is not None and config.segment_bytes != spec.segment_bytes:
+        spec = replace(spec, segment_bytes=config.segment_bytes)
+    segment = spec.segment_bytes
+    dataset_bytes = dataset_blocks * block_bytes
+    utilization = config.flash_utilization
+
+    capacity = config.flash_capacity_bytes
+    if capacity is None:
+        capacity = int(math.ceil(dataset_bytes / utilization / segment)) * segment
+        # Cleaning needs headroom: keep at least two segments' worth free.
+        while capacity - int(utilization * capacity) < 2 * segment or capacity < (
+            dataset_bytes + 2 * segment
+        ):
+            capacity += segment
+        capacity = max(capacity, 3 * segment)
+    elif capacity % segment:
+        raise ConfigurationError(
+            f"flash capacity {capacity} is not a multiple of the segment "
+            f"size {segment}"
+        )
+
+    device = FlashCard(
+        spec,
+        capacity_bytes=capacity,
+        block_bytes=block_bytes,
+        policy=cleaning_policy(config.cleaning_policy),
+        background_cleaning=config.background_cleaning,
+    )
+    capacity_blocks = capacity // block_bytes
+    target_live = max(dataset_blocks, int(utilization * capacity_blocks))
+    device.preload(range(target_live))
+    return device

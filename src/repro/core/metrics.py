@@ -1,0 +1,139 @@
+"""Response-time statistics.
+
+The paper reports mean, maximum, and standard deviation of read and write
+response times (Tables 4a-c).  :class:`ResponseAccumulator` collects them
+online with Welford's algorithm so simulations never hold per-operation
+lists in memory; a deterministic reservoir sample additionally yields
+percentile estimates (an extension the paper's tables lack but its
+worst-case discussion clearly wants).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+#: Reservoir size for percentile estimation: exact percentiles up to this
+#: many observations, a uniform sample beyond it.
+_RESERVOIR_SIZE = 4096
+
+
+class ResponseAccumulator:
+    """Online mean / max / standard deviation / percentiles of responses."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.max = 0.0
+        self.total = 0.0
+        self._reservoir: list[float] = []
+        # Seeded so identical simulations report identical percentiles.
+        self._rng = random.Random(0xD15C)
+
+    def add(self, value: float) -> None:
+        """Record one response time (seconds)."""
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value > self.max:
+            self.max = value
+        if len(self._reservoir) < _RESERVOIR_SIZE:
+            self._reservoir.append(value)
+        else:
+            slot = self._rng.randrange(self.count)
+            if slot < _RESERVOIR_SIZE:
+                self._reservoir[slot] = value
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0..1) of the responses seen so far.
+
+        Exact while fewer than the reservoir size have been recorded.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    @property
+    def mean(self) -> float:
+        """Mean response time (seconds); 0 when empty."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation (seconds); 0 when empty."""
+        if self.count < 2:
+            return 0.0
+        return math.sqrt(self._m2 / self.count)
+
+    def reset(self) -> None:
+        """Zero the accumulator (warm-start boundary)."""
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.max = 0.0
+        self.total = 0.0
+        self._reservoir.clear()
+        self._rng = random.Random(0xD15C)
+
+    def snapshot(self) -> "ResponseStats":
+        """Freeze the current statistics."""
+        return ResponseStats(
+            count=self.count,
+            mean_s=self.mean,
+            max_s=self.max,
+            std_s=self.std,
+            p50_s=self.percentile(0.50),
+            p95_s=self.percentile(0.95),
+            p99_s=self.percentile(0.99),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ResponseStats:
+    """Frozen response-time statistics, reported in the paper's units."""
+
+    count: int
+    mean_s: float
+    max_s: float
+    std_s: float
+    p50_s: float = 0.0
+    p95_s: float = 0.0
+    p99_s: float = 0.0
+
+    @property
+    def mean_ms(self) -> float:
+        """Mean response in milliseconds (the paper's Tables 4a-c unit)."""
+        return self.mean_s * 1e3
+
+    @property
+    def max_ms(self) -> float:
+        """Maximum response in milliseconds."""
+        return self.max_s * 1e3
+
+    @property
+    def std_ms(self) -> float:
+        """Response standard deviation in milliseconds."""
+        return self.std_s * 1e3
+
+    @property
+    def p95_ms(self) -> float:
+        """95th-percentile response in milliseconds."""
+        return self.p95_s * 1e3
+
+    @property
+    def p99_ms(self) -> float:
+        """99th-percentile response in milliseconds."""
+        return self.p99_s * 1e3
+
+    @staticmethod
+    def empty() -> "ResponseStats":
+        """Statistics over zero observations."""
+        return ResponseStats(count=0, mean_s=0.0, max_s=0.0, std_s=0.0)

@@ -1,0 +1,104 @@
+"""The trace-driven simulation engine.
+
+``Simulator.run`` executes one trace against one configured storage
+hierarchy and returns a :class:`~repro.core.results.SimulationResult`.  The
+methodology follows the paper's section 4.2: file-level records are
+preprocessed into disk-level operations, the first 10% of the trace warms
+the caches (its statistics and energy are discarded), and the remainder is
+measured.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SimulationConfig
+from repro.core.hierarchy import StorageHierarchy, build_hierarchy
+from repro.core.metrics import ResponseAccumulator
+from repro.core.results import SimulationResult
+from repro.devices.flashcard import FlashCard
+from repro.errors import SimulationError
+from repro.traces.filemap import FileMapper
+from repro.traces.record import Operation
+from repro.traces.trace import Trace
+
+
+class Simulator:
+    """Runs traces against a configured storage hierarchy."""
+
+    def __init__(self, config: SimulationConfig | None = None) -> None:
+        self.config = config if config is not None else SimulationConfig()
+
+    def run(self, trace: Trace) -> SimulationResult:
+        """Simulate ``trace`` and return the measured statistics."""
+        config = self.config
+        mapper = FileMapper(trace.block_size)
+        ops = mapper.translate_all(trace)
+        dataset_blocks = mapper.high_water_blocks
+        hierarchy = build_hierarchy(config, trace.block_size, max(1, dataset_blocks))
+        return self._execute(trace, ops, hierarchy)
+
+    def _execute(self, trace: Trace, ops, hierarchy: StorageHierarchy) -> SimulationResult:
+        config = self.config
+        warm_count = int(len(ops) * config.warm_fraction)
+
+        read_acc = ResponseAccumulator()
+        write_acc = ResponseAccumulator()
+        overall_acc = ResponseAccumulator()
+        n_deletes = 0
+        measured_start = ops[warm_count].time if warm_count < len(ops) else 0.0
+
+        for index, op in enumerate(ops):
+            if index == warm_count and warm_count > 0:
+                hierarchy.reset_accounting()
+                read_acc.reset()
+                write_acc.reset()
+                overall_acc.reset()
+                n_deletes = 0
+            measured = index >= warm_count
+
+            if op.op is Operation.READ:
+                response = hierarchy.read(op)
+                if measured:
+                    read_acc.add(response)
+                    overall_acc.add(response)
+            elif op.op is Operation.WRITE:
+                response = hierarchy.write(op)
+                if measured:
+                    write_acc.add(response)
+                    overall_acc.add(response)
+            elif op.op is Operation.DELETE:
+                hierarchy.delete(op)
+                if measured:
+                    n_deletes += 1
+            else:  # pragma: no cover - Operation is closed
+                raise SimulationError(f"unknown operation {op.op!r}")
+
+        end_time = max(trace.duration, hierarchy.latest_time())
+        hierarchy.finalize(end_time)
+        duration = max(0.0, end_time - measured_start)
+
+        device = hierarchy.device
+        wear = device.wear(duration) if isinstance(device, FlashCard) else None
+        dram_hit_rate = hierarchy.dram.hit_rate if hierarchy.dram is not None else None
+
+        return SimulationResult(
+            trace_name=trace.name,
+            device_name=device.name,
+            config=config,
+            duration_s=duration,
+            energy_j=hierarchy.total_energy_j,
+            energy_breakdown=hierarchy.energy_breakdown(),
+            read_response=read_acc.snapshot(),
+            write_response=write_acc.snapshot(),
+            overall_response=overall_acc.snapshot(),
+            n_reads=read_acc.count,
+            n_writes=write_acc.count,
+            n_deletes=n_deletes,
+            device_stats=device.stats(),
+            dram_hit_rate=dram_hit_rate,
+            wear=wear,
+        )
+
+
+def simulate(trace: Trace, config: SimulationConfig | None = None) -> SimulationResult:
+    """Convenience wrapper: simulate ``trace`` under ``config``."""
+    return Simulator(config).run(trace)

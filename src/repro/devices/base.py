@@ -1,0 +1,125 @@
+"""The storage-device interface shared by disk, flash disk, and flash card.
+
+A device is a little discrete-time machine with two clocks:
+
+* ``clock`` — the point up to which energy has been accounted.  It only
+  moves forward.  ``advance(until)`` integrates idle-time behaviour
+  (spin-down transitions, background erasure, standby power) from ``clock``
+  to ``until``.
+* ``busy_until`` — the point at which the device finishes its current
+  operation.  A request arriving earlier queues behind it (the simulator is
+  trace-driven, so requests arrive in timestamp order).
+
+``read``/``write`` return the operation's **completion time**; the caller
+computes response time as completion minus arrival.  ``delete`` is a
+metadata operation (trim) and is free in both time and energy, matching the
+paper's treatment of deletions as file-system bookkeeping.
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+
+from repro.devices.power import EnergyMeter
+from repro.errors import SimulationError
+
+
+class AccessKind(enum.Enum):
+    """Operation kinds a device distinguishes for accounting."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class StorageDevice(ABC):
+    """Abstract base class for non-volatile storage devices."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.energy = EnergyMeter(name)
+        self.clock = 0.0
+        self.busy_until = 0.0
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- time bookkeeping ------------------------------------------------------
+
+    def _begin(self, at: float) -> float:
+        """Queue behind any in-flight operation and account idle time.
+
+        Returns the effective start time of the new operation.
+        """
+        start = max(at, self.busy_until)
+        if start < self.clock - 1e-9:
+            raise SimulationError(
+                f"{self.name}: operation starts at {start} before clock {self.clock}"
+            )
+        self.advance(start)
+        return start
+
+    def _finish(self, start: float, duration: float) -> float:
+        """Mark the device busy for ``duration`` seconds from ``start``."""
+        completion = start + duration
+        self.busy_until = completion
+        self.clock = completion
+        return completion
+
+    # -- abstract interface ------------------------------------------------------
+
+    @abstractmethod
+    def advance(self, until: float) -> None:
+        """Account idle-time behaviour from ``clock`` to ``until``.
+
+        Must be a no-op when ``until <= clock``.
+        """
+
+    @abstractmethod
+    def read(self, at: float, size: int, blocks: Sequence[int], file_id: int) -> float:
+        """Read ``size`` bytes; returns the completion time."""
+
+    @abstractmethod
+    def write(self, at: float, size: int, blocks: Sequence[int], file_id: int) -> float:
+        """Write ``size`` bytes; returns the completion time."""
+
+    def delete(self, at: float, blocks: Sequence[int]) -> None:
+        """Free ``blocks`` (trim).  Default: metadata-only no-op."""
+        self.advance(at)
+
+    def accepts_immediate_flush(self) -> bool:
+        """Should a write buffer drain to this device right away?
+
+        Flash devices always say yes (writing costs nothing extra later).
+        A spin-managed disk says yes only while spinning: draining to a
+        sleeping disk would defeat the deferred spin-up policy (paper
+        section 2: SRAM allows "small writes to a spun-down disk to proceed
+        without spinning it up").
+        """
+        return True
+
+    def finalize(self, until: float) -> None:
+        """Close out energy accounting at the end of the simulation."""
+        self.advance(max(until, self.clock))
+
+    def reset_accounting(self) -> None:
+        """Zero energy and counters (called after the warm-start prefix)."""
+        self.energy.reset()
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- reporting ------------------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Operation counters and energy for reports."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "energy_j": self.energy.total_j,
+        }

@@ -1,0 +1,166 @@
+"""Magnetic hard disk model (WD Caviar Ultralite CU140, HP Kittyhawk).
+
+The disk is a five-state machine::
+
+    SLEEPING --(access)--> [spin-up] --> SPINNING --(idle timeout)--> SPINNING_DOWN --> SLEEPING
+                                 ^------------------(access waits out spin-down, then spins up)
+
+Spin-down is uninterruptible: an access arriving while the platters are
+still decelerating waits for the spin-down to finish and then pays the full
+spin-up, which is what pushes worst-case responses to several seconds (the
+~3.5 s maxima in the paper's Table 4).
+
+Per the paper's simulator assumptions (section 4.2): repeated accesses to
+the same file never seek; any other access pays the average seek; every
+transfer pays average rotational latency.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+
+from repro.devices.base import AccessKind, StorageDevice
+from repro.devices.specs import DiskSpec
+from repro.devices.spindown import FixedTimeoutPolicy, SpinDownPolicy
+from repro.units import transfer_time
+
+
+class DiskState(enum.Enum):
+    """Power states of the spindle."""
+
+    SLEEPING = "sleeping"
+    SPINNING = "spinning"
+    SPINNING_DOWN = "spinning_down"
+
+
+class MagneticDisk(StorageDevice):
+    """A spin-managed magnetic disk.
+
+    Args:
+        spec: device parameters (see :mod:`repro.devices.specs`).
+        policy: spin-down policy; defaults to the paper's fixed 5 s timeout.
+        start_spinning: initial spindle state (the paper's simulations start
+            with the disk spun up; micro-benchmarks keep it spinning).
+    """
+
+    def __init__(
+        self,
+        spec: DiskSpec,
+        policy: SpinDownPolicy | None = None,
+        start_spinning: bool = True,
+    ) -> None:
+        super().__init__(spec.name)
+        self.spec = spec
+        self.policy = policy if policy is not None else FixedTimeoutPolicy(5.0)
+        self.state = DiskState.SPINNING if start_spinning else DiskState.SLEEPING
+        self.spin_ups = 0
+        self.spin_downs = 0
+        self._idle_since = 0.0
+        self._spin_down_end = 0.0
+        self._last_file: int | None = None
+
+    # -- idle-time state machine --------------------------------------------------
+
+    def advance(self, until: float) -> None:
+        while self.clock < until - 1e-12:
+            if self.state is DiskState.SPINNING:
+                deadline = self.policy.spin_down_at(self._idle_since)
+                if deadline is None or deadline >= until:
+                    self.energy.charge("idle", self.spec.idle_power_w, until - self.clock)
+                    self.clock = until
+                    continue
+                if deadline > self.clock:
+                    self.energy.charge(
+                        "idle", self.spec.idle_power_w, deadline - self.clock
+                    )
+                    self.clock = deadline
+                self.state = DiskState.SPINNING_DOWN
+                self._spin_down_end = self.clock + self.spec.spin_down_s
+                self.spin_downs += 1
+            elif self.state is DiskState.SPINNING_DOWN:
+                end = min(until, self._spin_down_end)
+                self.energy.charge(
+                    "spin_down", self.spec.spin_down_power_w, end - self.clock
+                )
+                self.clock = end
+                if self.clock >= self._spin_down_end - 1e-12:
+                    self.state = DiskState.SLEEPING
+            else:  # SLEEPING
+                self.energy.charge("sleep", self.spec.sleep_power_w, until - self.clock)
+                self.clock = until
+
+    def accepts_immediate_flush(self) -> bool:
+        """Drain write buffers only while the platters are spinning."""
+        return self.state is DiskState.SPINNING
+
+    # -- access path ---------------------------------------------------------------
+
+    def read(self, at: float, size: int, blocks: Sequence[int], file_id: int) -> float:
+        completion = self._access(at, size, file_id, AccessKind.READ)
+        self.reads += 1
+        self.bytes_read += size
+        return completion
+
+    def write(self, at: float, size: int, blocks: Sequence[int], file_id: int) -> float:
+        completion = self._access(at, size, file_id, AccessKind.WRITE)
+        self.writes += 1
+        self.bytes_written += size
+        return completion
+
+    def _access(self, at: float, size: int, file_id: int, kind: AccessKind) -> float:
+        spec = self.spec
+        start = self._begin(at)
+        now = start
+
+        if self.state is DiskState.SPINNING_DOWN:
+            # Uninterruptible: wait out the remainder of the spin-down.
+            wait = self._spin_down_end - now
+            self.energy.charge("spin_down", spec.spin_down_power_w, wait)
+            now = self._spin_down_end
+            self.state = DiskState.SLEEPING
+
+        if self.state is DiskState.SLEEPING:
+            self.policy.note_spin_up(now, now - self._idle_since)
+            self.energy.charge("spin_up", spec.spin_up_power_w, spec.spin_up_s)
+            now += spec.spin_up_s
+            self.spin_ups += 1
+            self.state = DiskState.SPINNING
+
+        duration = self._operation_time(size, file_id, kind)
+        self.energy.charge(kind.value, spec.active_power_w, duration)
+        now += duration
+
+        self.clock = now
+        self.busy_until = now
+        self._idle_since = now
+        self._last_file = file_id
+        return now
+
+    def _operation_time(self, size: int, file_id: int, kind: AccessKind) -> float:
+        """Mechanical + transfer time for one operation (excludes spin-up)."""
+        spec = self.spec
+        seek = 0.0 if file_id == self._last_file else spec.seek_s
+        bandwidth = (
+            spec.read_bandwidth_bps
+            if kind is AccessKind.READ
+            else spec.write_bandwidth_bps
+        )
+        return seek + spec.rotation_s + spec.controller_s + transfer_time(size, bandwidth)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def reset_accounting(self) -> None:
+        super().reset_accounting()
+        self.spin_ups = 0
+        self.spin_downs = 0
+
+    def stats(self) -> dict[str, float]:
+        base = super().stats()
+        base.update(
+            {
+                "spin_ups": self.spin_ups,
+                "spin_downs": self.spin_downs,
+            }
+        )
+        return base

@@ -1,0 +1,202 @@
+"""Flash disk emulator model (SunDisk SDP10 / SDP5 / SDP5A).
+
+The SDP series replaces the hard disk with flash behind a conventional disk
+interface: 512-byte sectors, single-sector erase granularity, and no
+segment cleaning — which is why, unlike the flash card, the flash disk "is
+unaffected by utilization because it does not copy data within the flash"
+(paper section 5.2).
+
+Two write modes:
+
+* **coupled** (SDP10, SDP5): erasure happens inside the write; the host
+  sees one slow write at ``write_bandwidth_bps`` (50-75 KB/s class).
+* **asynchronous** (SDP5A, section 5.3): stale sectors are erased in the
+  background at ``erase_bandwidth_bps`` (150 KB/s) during idle time, and
+  writes that land on pre-erased sectors run at
+  ``pre_erased_write_bandwidth_bps`` (400 KB/s).  When the pre-erased pool
+  runs dry the device falls back to coupled writes.
+
+The asynchronous mode needs sector indirection, provided by
+:class:`repro.flash.ftl.SectorMap`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.devices.base import AccessKind, StorageDevice
+from repro.devices.specs import FlashDiskSpec
+from repro.errors import ConfigurationError
+from repro.flash.ftl import SectorMap
+from repro.units import transfer_time
+
+
+class FlashDisk(StorageDevice):
+    """A flash memory card with a disk-block interface.
+
+    Args:
+        spec: device parameters.
+        capacity_bytes: medium size (defaults to the spec's capacity).
+        block_bytes: the file-system block size the simulator addresses the
+            device with; must be a multiple of the 512-byte sector.
+        async_erase: enable the SDP5A decoupled-erase mode (defaults to the
+            spec's capability flag).
+    """
+
+    def __init__(
+        self,
+        spec: FlashDiskSpec,
+        capacity_bytes: int | None = None,
+        block_bytes: int = 512,
+        async_erase: bool | None = None,
+    ) -> None:
+        super().__init__(spec.name)
+        self.spec = spec
+        self.capacity_bytes = capacity_bytes or spec.capacity_bytes
+        if block_bytes % spec.sector_bytes:
+            raise ConfigurationError(
+                f"block size {block_bytes} is not a multiple of the "
+                f"{spec.sector_bytes}-byte sector"
+            )
+        self.block_bytes = block_bytes
+        self.sectors_per_block = block_bytes // spec.sector_bytes
+        self.async_erase = (
+            spec.supports_async_erase if async_erase is None else async_erase
+        )
+        n_sectors = self.capacity_bytes // spec.sector_bytes
+        self.sector_map = SectorMap(n_sectors)
+        self.pre_erased_sector_writes = 0
+        self.coupled_sector_writes = 0
+        self.background_erasures = 0
+        #: seconds of erase work already paid toward the next dirty sector
+        self._erase_progress_s = 0.0
+
+    # -- setup -------------------------------------------------------------------
+
+    def preload(self, n_blocks: int) -> None:
+        """Mark blocks ``0..n_blocks-1`` as holding data at time zero."""
+        self.sector_map.preload(n_blocks * self.sectors_per_block)
+
+    # -- idle-time behaviour -------------------------------------------------------
+
+    @property
+    def _sector_erase_s(self) -> float:
+        return transfer_time(self.spec.sector_bytes, self.spec.erase_bandwidth_bps)
+
+    def advance(self, until: float) -> None:
+        if until <= self.clock:
+            return
+        if not self.async_erase:
+            self.energy.charge("idle", self.spec.idle_power_w, until - self.clock)
+            self.clock = until
+            return
+        # Background erasure: drain the dirty queue at the erase bandwidth,
+        # suspending (trivially, since this only runs between operations)
+        # during I/O.
+        budget = until - self.clock
+        per_sector = self._sector_erase_s
+        while budget > 0 and self.sector_map.dirty_sectors > 0:
+            needed = per_sector - self._erase_progress_s
+            if budget < needed:
+                self._erase_progress_s += budget
+                self.energy.charge("erase", self.spec.active_power_w, budget)
+                budget = 0.0
+                break
+            self.energy.charge("erase", self.spec.active_power_w, needed)
+            budget -= needed
+            self._erase_progress_s = 0.0
+            self.sector_map.erase_one()
+            self.background_erasures += 1
+        if budget > 0:
+            self.energy.charge("idle", self.spec.idle_power_w, budget)
+        self.clock = until
+
+    # -- access path ---------------------------------------------------------------
+
+    def read(self, at: float, size: int, blocks: Sequence[int], file_id: int) -> float:
+        start = self._begin(at)
+        duration = self.spec.access_latency_s + transfer_time(
+            size, self.spec.read_bandwidth_bps
+        )
+        self.energy.charge(AccessKind.READ.value, self.spec.active_power_w, duration)
+        self.reads += 1
+        self.bytes_read += size
+        return self._finish(start, duration)
+
+    def write(self, at: float, size: int, blocks: Sequence[int], file_id: int) -> float:
+        start = self._begin(at)
+        if self.async_erase:
+            duration = self._async_write_duration(size, blocks)
+        else:
+            duration = self.spec.access_latency_s + transfer_time(
+                size, self.spec.write_bandwidth_bps
+            )
+            self.coupled_sector_writes += self._sector_count(size)
+            self._apply_mapping(blocks)
+        self.energy.charge(AccessKind.WRITE.value, self.spec.active_power_w, duration)
+        self.writes += 1
+        self.bytes_written += size
+        return self._finish(start, duration)
+
+    def _sector_count(self, size: int) -> int:
+        return max(1, math.ceil(size / self.spec.sector_bytes))
+
+    def _apply_mapping(self, blocks: Sequence[int]) -> None:
+        """Keep the sector map coherent in coupled mode (no timing impact)."""
+        for block in blocks:
+            base = block * self.sectors_per_block
+            for offset in range(self.sectors_per_block):
+                self.sector_map.write(base + offset)
+
+    def _async_write_duration(self, size: int, blocks: Sequence[int]) -> float:
+        """Split the write between pre-erased (fast) and coupled sectors."""
+        spec = self.spec
+        fast_sectors = 0
+        slow_sectors = 0
+        for block in blocks:
+            base = block * self.sectors_per_block
+            for offset in range(self.sectors_per_block):
+                if self.sector_map.write(base + offset):
+                    fast_sectors += 1
+                else:
+                    slow_sectors += 1
+        self.pre_erased_sector_writes += fast_sectors
+        self.coupled_sector_writes += slow_sectors
+        fast_bytes = fast_sectors * spec.sector_bytes
+        slow_bytes = slow_sectors * spec.sector_bytes
+        return (
+            spec.access_latency_s
+            + transfer_time(fast_bytes, spec.pre_erased_write_bandwidth_bps)
+            + transfer_time(slow_bytes, spec.write_bandwidth_bps)
+        )
+
+    def delete(self, at: float, blocks: Sequence[int]) -> None:
+        """Trim: deleted sectors join the dirty queue (async mode) so the
+        background eraser can recycle them."""
+        self.advance(at)
+        for block in blocks:
+            base = block * self.sectors_per_block
+            for offset in range(self.sectors_per_block):
+                self.sector_map.trim(base + offset)
+
+    # -- reporting ---------------------------------------------------------------
+
+    def reset_accounting(self) -> None:
+        super().reset_accounting()
+        self.pre_erased_sector_writes = 0
+        self.coupled_sector_writes = 0
+        self.background_erasures = 0
+
+    def stats(self) -> dict[str, float]:
+        base = super().stats()
+        base.update(
+            {
+                "pre_erased_sector_writes": self.pre_erased_sector_writes,
+                "coupled_sector_writes": self.coupled_sector_writes,
+                "background_erasures": self.background_erasures,
+                "dirty_sectors": self.sector_map.dirty_sectors,
+                "free_sectors": self.sector_map.free_sectors,
+            }
+        )
+        return base

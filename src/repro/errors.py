@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+All package-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by the library with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation or device configuration is inconsistent or out of range."""
+
+
+class TraceError(ReproError):
+    """A trace is malformed or violates an invariant (e.g. time going
+    backwards, operation on an unknown file)."""
+
+
+class DeviceError(ReproError):
+    """A storage device was driven outside its legal envelope (e.g. writing
+    past the end of the medium, flash card out of space)."""
+
+
+class FlashOutOfSpaceError(DeviceError):
+    """The flash medium cannot satisfy an allocation even after cleaning.
+
+    This happens when live data (including utilization preload) exceeds the
+    capacity that cleaning can ever reclaim.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state."""

@@ -1,0 +1,124 @@
+"""Figure 2 — energy and write response time as a function of flash-card
+storage utilization (40-95%), simulated from the Intel card datasheet with
+128 KB segments, for each trace.
+
+The paper's findings: energy consumption rises steadily (up to 70-190%
+between 40% and 95%), write response degrades up to ~30% once writes start
+waiting for clean segments, and the mac trace's write response stays flat
+(its higher read fraction lets the cleaner keep up).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import simulate
+from repro.experiments.base import Experiment, ExperimentResult, Table
+from repro.experiments.traces_cache import dram_for, trace_for
+from repro.traces.filemap import dataset_blocks
+
+#: The utilization sweep points (the paper plots 40%..95%).
+UTILIZATIONS = (0.40, 0.50, 0.60, 0.70, 0.80, 0.90, 0.95)
+
+
+def fixed_capacity_bytes(
+    trace,
+    segment_bytes: int,
+    min_utilization: float,
+    max_utilization: float = 0.95,
+) -> int:
+    """A card size that stays fixed across the sweep: big enough that the
+    lowest-utilization point still fits the trace's dataset as live data
+    ("we set the size of the flash to be large relative to the size of the
+    trace, then filled the flash with extra data blocks"), and big enough
+    that the highest-utilization point still leaves the cleaner a few
+    segments of headroom."""
+    dataset_bytes = dataset_blocks(trace) * trace.block_size
+    needed = dataset_bytes / min_utilization + 2 * segment_bytes
+    # Headroom floor: >= 3 segments free at the highest utilization point.
+    headroom_floor = 3 * segment_bytes / max(1e-6, 1.0 - max_utilization)
+    needed = max(needed, headroom_floor)
+    return int(math.ceil(needed / segment_bytes)) * segment_bytes
+
+
+def run(scale: float = 1.0, traces: tuple[str, ...] = ("mac", "dos", "hp")) -> ExperimentResult:
+    """Regenerate both Figure 2 panels."""
+    segment_bytes = 128 * 1024
+    rows = []
+    for trace_name in traces:
+        trace = trace_for(trace_name, scale)
+        capacity = fixed_capacity_bytes(trace, segment_bytes, UTILIZATIONS[0])
+        baseline_energy = None
+        baseline_write = None
+        for utilization in UTILIZATIONS:
+            config = SimulationConfig(
+                device="intel-datasheet",
+                dram_bytes=dram_for(trace_name),
+                flash_utilization=utilization,
+                flash_capacity_bytes=capacity,
+                segment_bytes=segment_bytes,
+            )
+            result = simulate(trace, config)
+            if baseline_energy is None:
+                baseline_energy = result.energy_j
+                baseline_write = result.write_response.mean_s or 1e-12
+            stats = result.device_stats
+            rows.append(
+                (
+                    trace_name,
+                    utilization,
+                    round(result.energy_j, 1),
+                    round(result.write_response.mean_ms, 3),
+                    round(result.energy_j / baseline_energy, 2),
+                    round((result.write_response.mean_s or 0.0) / baseline_write, 2),
+                    int(stats["segments_cleaned"]),
+                    int(stats["blocks_copied"]),
+                    result.wear.max_erasures if result.wear else 0,
+                    round(result.wear.mean_erasures, 2) if result.wear else 0,
+                )
+            )
+
+    table = Table(
+        title="Figure 2: energy & write response vs flash utilization "
+        "(Intel datasheet, 128 KB segments)",
+        headers=(
+            "trace", "utilization", "energy J", "wr mean ms",
+            "E/E(40%)", "wr/wr(40%)", "cleanings", "copies",
+            "max erase", "mean erase",
+        ),
+        rows=tuple(rows),
+    )
+    from repro.experiments.plotting import chart_from_rows
+
+    charts = (
+        chart_from_rows(
+            rows, label_column=0, x_column=1, y_column=4,
+            title="Figure 2(d): normalized energy vs utilization",
+            x_label="flash card utilization", y_label="E / E(40%)",
+        ),
+        chart_from_rows(
+            rows, label_column=0, x_column=1, y_column=3,
+            title="Figure 2(e): write response vs utilization",
+            x_label="flash card utilization", y_label="write mean (ms)",
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="Flash storage utilization sweep",
+        tables=(table,),
+        notes=(
+            "The paper reports energy +70-190% and write response +<=30% "
+            "at 95% vs 40% utilization, with erase counts up to tripling.",
+        ),
+        scale=scale,
+        charts=charts,
+    )
+
+
+EXPERIMENT = Experiment(
+    experiment_id="fig2",
+    title="Flash storage utilization sweep",
+    paper_ref="Figure 2",
+    run=run,
+)

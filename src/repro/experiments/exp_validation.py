@@ -1,0 +1,87 @@
+"""Section 5.1 — simulator validation against the testbed.
+
+"We verified the simulator by running a 6-Mbyte synthetic trace both
+through the simulator and on the OmniBook, using each of the devices. ...
+All simulated performance numbers were within a few percent of measured
+performance, with the exception of flash card reads and Caviar Ultralite
+cu140 writes."
+
+Here the "OmniBook" side is the testbed model (datasheet devices + file
+system overheads) and the simulator side uses the ``*-measured`` parameter
+sets, mirroring the paper's methodology.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import simulate
+from repro.experiments.base import Experiment, ExperimentResult, Table
+from repro.experiments.traces_cache import trace_for
+from repro.testbed.omnibook import OmniBook, StorageSetup
+
+#: (label, testbed setup, simulator device spec)
+PAIRS = (
+    ("cu140", StorageSetup.CU140, "cu140-measured"),
+    ("sdp10", StorageSetup.SDP10, "sdp10-measured"),
+    ("intel", StorageSetup.INTEL_MFFS, "intel-measured"),
+)
+
+
+def run(scale: float = 1.0) -> ExperimentResult:
+    """Replay the synth trace on both testbed and simulator and compare."""
+    trace = trace_for("synth", scale)
+    rows = []
+    for label, setup, device in PAIRS:
+        measured = OmniBook().run_trace(setup, trace)
+        config = SimulationConfig(
+            device=device,
+            dram_bytes=0,  # DOS 5.0 on the OmniBook ran without a cache
+            sram_bytes=0,
+            spin_down_timeout_s=None,  # continuously accessed, as measured
+        )
+        simulated = simulate(trace, config)
+        sim_read = simulated.read_response.mean_ms
+        sim_write = simulated.write_response.mean_ms
+        rows.append(
+            (
+                label, "read",
+                round(measured["read_mean_ms"], 2),
+                round(sim_read, 2),
+                round(measured["read_mean_ms"] / sim_read, 2) if sim_read else "-",
+            )
+        )
+        rows.append(
+            (
+                label, "write",
+                round(measured["write_mean_ms"], 2),
+                round(sim_write, 2),
+                round(measured["write_mean_ms"] / sim_write, 2) if sim_write else "-",
+            )
+        )
+
+    table = Table(
+        title="Section 5.1: testbed (measured) vs simulator mean responses",
+        headers=("device", "op", "testbed ms", "simulator ms", "ratio"),
+        rows=tuple(rows),
+    )
+    return ExperimentResult(
+        experiment_id="validation",
+        title="Simulator validation on the synth trace",
+        tables=(table,),
+        notes=(
+            "The paper reports agreement within a few percent except for "
+            "flash-card reads (4x worse measured, due to cleaning and "
+            "decompression) and cu140 writes (~2x worse measured, due to "
+            "the optimistic no-seek assumption); expect those rows to "
+            "deviate in the same directions here.",
+        ),
+        scale=scale,
+    )
+
+
+EXPERIMENT = Experiment(
+    experiment_id="validation",
+    title="Simulator validation on the synth trace",
+    paper_ref="Section 5.1",
+    run=run,
+)

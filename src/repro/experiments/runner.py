@@ -1,0 +1,71 @@
+"""Experiment runner: execute drivers and render their reports.
+
+Also usable from the command line::
+
+    python -m repro.experiments.runner table4 --scale 0.2
+    python -m repro.experiments.runner --all --scale 0.05
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import all_experiments, get_experiment
+
+
+def run_experiment(
+    experiment_id: str, scale: float = 1.0, **kwargs: Any
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    return get_experiment(experiment_id)(scale=scale, **kwargs)
+
+
+def run_all(scale: float = 1.0) -> dict[str, ExperimentResult]:
+    """Run every registered experiment; returns results keyed by id."""
+    return {
+        experiment_id: experiment(scale=scale)
+        for experiment_id, experiment in sorted(all_experiments().items())
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiment", nargs="?", help="experiment id")
+    parser.add_argument("--all", action="store_true", help="run everything")
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="trace-length scale in (0, 1]")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--output", help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    reports: list[str] = []
+
+    def emit(text: str) -> None:
+        print(text)
+        reports.append(text)
+
+    if args.list:
+        for experiment_id, experiment in sorted(all_experiments().items()):
+            print(f"{experiment_id:22s} {experiment.paper_ref:28s} {experiment.title}")
+        return 0
+    if args.all:
+        for experiment_id, result in run_all(scale=args.scale).items():
+            emit(result.render())
+            emit("")
+    elif not args.experiment:
+        parser.error("give an experiment id, --all, or --list")
+    else:
+        emit(run_experiment(args.experiment, scale=args.scale).render())
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text("\n".join(reports) + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

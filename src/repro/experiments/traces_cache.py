@@ -1,0 +1,50 @@
+"""Shared trace generation for experiment drivers.
+
+Full-scale operation counts reproduce the paper's Table 3 arithmetic
+(duration / mean inter-arrival); experiments pass ``scale`` to shrink the
+runs proportionally.  Traces are cached per (name, scale, seed) so a suite
+of experiments over the same workloads generates each trace once.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.traces.synthetic import SyntheticWorkload
+from repro.traces.trace import Trace
+from repro.traces.workloads import workload_by_name
+
+#: Full-scale operation counts: trace duration / mean inter-arrival.
+FULL_OPS = {
+    "mac": 161_000,
+    "dos": 10_200,
+    "hp": 34_000,
+}
+
+#: Per-trace DRAM sizes used throughout the paper's simulations: "There was
+#: a 2-Mbyte DRAM buffer for mac and dos but no DRAM buffer cache in the hp
+#: simulations."
+DRAM_BYTES = {
+    "mac": 2 * 1024 * 1024,
+    "dos": 2 * 1024 * 1024,
+    "hp": 0,
+}
+
+#: The synth workload's nominal length (enough operations for its 6 MB
+#: dataset to churn several times over).
+SYNTH_FULL_OPS = 20_000
+
+
+@lru_cache(maxsize=32)
+def trace_for(name: str, scale: float = 1.0, seed: int = 1) -> Trace:
+    """The (cached) trace for one of the paper's workloads at ``scale``."""
+    if name == "synth":
+        n_ops = max(500, int(SYNTH_FULL_OPS * scale))
+        return SyntheticWorkload().generate(n_ops=n_ops, seed=seed)
+    n_ops = max(500, int(FULL_OPS[name] * scale))
+    return workload_by_name(name).generate(seed=seed, n_ops=n_ops)
+
+
+def dram_for(name: str) -> int:
+    """The paper's DRAM buffer size for a given trace."""
+    return DRAM_BYTES.get(name, 2 * 1024 * 1024)

@@ -1,0 +1,34 @@
+"""Flash-memory management substrate: segments, cleaning policies, wear
+tracking, and the sector-remapping FTL used by the flash disk emulator.
+
+Erasure management is "the key to file system support using flash memory"
+(paper abstract); this subpackage implements the mechanisms the paper's
+flash card and flash disk models rely on.
+"""
+
+from repro.flash.segment import Segment
+from repro.flash.cleaner import (
+    CleaningPolicy,
+    CostBenefitPolicy,
+    EnvyHybridPolicy,
+    GreedyPolicy,
+    cleaning_policy,
+)
+from repro.flash.wear import WearStats, wear_stats
+from repro.flash.ftl import SectorMap
+from repro.flash.leveling import ColdSwapLeveler, WearAwarePolicy, wear_imbalance
+
+__all__ = [
+    "CleaningPolicy",
+    "ColdSwapLeveler",
+    "CostBenefitPolicy",
+    "EnvyHybridPolicy",
+    "GreedyPolicy",
+    "SectorMap",
+    "Segment",
+    "WearAwarePolicy",
+    "WearStats",
+    "cleaning_policy",
+    "wear_imbalance",
+    "wear_stats",
+]

@@ -1,0 +1,132 @@
+"""A sector-remapping flash translation layer (FTL) for the flash disk.
+
+The SunDisk SDP devices present a disk-block interface over flash that
+erases one 512-byte sector at a time.  In the shipping SDP5/SDP10 the erase
+is coupled to the write (the host sees a slow write); the SDP5A generation
+"will have the ability to erase blocks prior to writing them, in order to
+get higher bandwidth during the write" (paper section 5.3).  Pre-erasure
+requires indirection: a write is steered to an already-erased physical
+sector and the stale one is queued for background erasure.  ``SectorMap``
+is that indirection table.
+
+Invariant: every physical sector is in exactly one of {free pool, dirty
+queue, mapped}, so ``free + dirty + mapped == n_sectors`` always holds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import DeviceError
+
+
+class SectorMap:
+    """Logical-to-physical sector mapping with free and dirty pools.
+
+    Physical sectors start in the free (erased) pool.  ``write`` maps a
+    logical sector onto a free physical sector, retiring any previous
+    mapping to the dirty queue; ``erase_one`` recycles a dirty sector back
+    into the free pool (the background-erase path); ``trim`` unmaps deleted
+    logical sectors.
+    """
+
+    def __init__(self, n_sectors: int) -> None:
+        if n_sectors <= 0:
+            raise DeviceError(f"n_sectors must be positive, got {n_sectors}")
+        self.n_sectors = n_sectors
+        self._map: dict[int, int] = {}
+        self._free: deque[int] = deque(range(n_sectors))
+        self._dirty: deque[int] = deque()
+
+    # -- pool sizes --------------------------------------------------------------
+
+    @property
+    def free_sectors(self) -> int:
+        """Sectors erased and ready to be written."""
+        return len(self._free)
+
+    @property
+    def dirty_sectors(self) -> int:
+        """Sectors holding stale data, awaiting erasure."""
+        return len(self._dirty)
+
+    @property
+    def mapped_sectors(self) -> int:
+        """Sectors holding current (live) data."""
+        return len(self._map)
+
+    def check_invariant(self) -> None:
+        """Raise unless free + dirty + mapped equals the sector count."""
+        total = self.free_sectors + self.dirty_sectors + self.mapped_sectors
+        if total != self.n_sectors:
+            raise DeviceError(
+                f"sector pools out of balance: free({self.free_sectors}) + "
+                f"dirty({self.dirty_sectors}) + mapped({self.mapped_sectors}) "
+                f"!= {self.n_sectors}"
+            )
+
+    def physical_for(self, logical: int) -> int | None:
+        """Current physical sector of ``logical``, if mapped."""
+        return self._map.get(logical)
+
+    # -- mutations -----------------------------------------------------------------
+
+    def write(self, logical: int) -> bool:
+        """Map ``logical`` onto a fresh physical sector.
+
+        Returns ``True`` if a pre-erased sector was available (fast write)
+        and ``False`` if the pool was empty, meaning the device must fall
+        back to a coupled erase+write in place.  In the fallback the old
+        physical sector (or a recycled dirty one) is erased inline, so no
+        new dirty sector is produced.
+        """
+        old = self._map.pop(logical, None)
+        if self._free:
+            physical = self._free.popleft()
+            self._map[logical] = physical
+            if old is not None:
+                self._dirty.append(old)
+            return True
+        # Coupled fallback: erase-in-place.  Reuse the old sector if there
+        # was one, otherwise consume a dirty sector inline.
+        if old is not None:
+            self._map[logical] = old
+            return False
+        if self._dirty:
+            self._map[logical] = self._dirty.popleft()
+            return False
+        raise DeviceError("flash disk out of sectors (capacity exceeded)")
+
+    def preload(self, logical_sectors: int) -> None:
+        """Instantly map logical sectors ``0..logical_sectors-1`` (the data
+        assumed present on the medium at simulation start)."""
+        for logical in range(logical_sectors):
+            if logical in self._map:
+                continue
+            if not self._free:
+                raise DeviceError(
+                    f"cannot preload {logical_sectors} sectors into a "
+                    f"{self.n_sectors}-sector device"
+                )
+            self._map[logical] = self._free.popleft()
+
+    def trim(self, logical: int) -> bool:
+        """Unmap a deleted logical sector; its physical sector becomes dirty.
+
+        Returns ``True`` if the sector was mapped.
+        """
+        old = self._map.pop(logical, None)
+        if old is None:
+            return False
+        self._dirty.append(old)
+        return True
+
+    def erase_one(self) -> bool:
+        """Erase one dirty sector (recycle it into the free pool).
+
+        Returns ``False`` when there was nothing to erase.
+        """
+        if not self._dirty:
+            return False
+        self._free.append(self._dirty.popleft())
+        return True

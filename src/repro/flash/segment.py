@@ -1,0 +1,123 @@
+"""Flash erasure units ("segments", following the paper's terminology for
+the Intel Series 2 card, whose 64-Kbyte erase zones pair into 128-Kbyte
+segments).
+
+A segment holds a fixed number of block slots.  Each slot is free (erased
+and writable), live (holds the current version of a logical block), or dead
+(holds an obsolete version awaiting erasure).  The invariant
+``free + live + dead == capacity`` holds at all times.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DeviceError
+
+
+class Segment:
+    """One flash erasure unit.
+
+    Attributes:
+        index: position of the segment on the card.
+        capacity: number of block slots.
+        live: logical block ids whose current version lives here.
+        dead_blocks: obsolete slots awaiting erasure.
+        free_blocks: erased, writable slots.
+        erase_count: how many times this segment has been erased (wear).
+        last_write_time: simulation time of the most recent allocation,
+            used by age-aware cleaning policies.
+    """
+
+    __slots__ = (
+        "index",
+        "capacity",
+        "live",
+        "dead_blocks",
+        "free_blocks",
+        "erase_count",
+        "last_write_time",
+    )
+
+    def __init__(self, index: int, capacity: int) -> None:
+        if capacity <= 0:
+            raise DeviceError(f"segment capacity must be positive, got {capacity}")
+        self.index = index
+        self.capacity = capacity
+        self.live: set[int] = set()
+        self.dead_blocks = 0
+        self.free_blocks = capacity
+        self.erase_count = 0
+        self.last_write_time = 0.0
+
+    # -- state predicates ---------------------------------------------------
+
+    @property
+    def live_blocks(self) -> int:
+        """Number of live slots."""
+        return len(self.live)
+
+    @property
+    def is_erased(self) -> bool:
+        """True when every slot is free (the segment is ready for writes)."""
+        return self.free_blocks == self.capacity
+
+    @property
+    def is_full(self) -> bool:
+        """True when no slot is free."""
+        return self.free_blocks == 0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of slots holding live data."""
+        return self.live_blocks / self.capacity
+
+    def check_invariant(self) -> None:
+        """Raise if ``free + live + dead != capacity`` (used by tests)."""
+        total = self.free_blocks + self.live_blocks + self.dead_blocks
+        if total != self.capacity:
+            raise DeviceError(
+                f"segment {self.index}: free({self.free_blocks}) + "
+                f"live({self.live_blocks}) + dead({self.dead_blocks}) "
+                f"!= capacity({self.capacity})"
+            )
+
+    # -- mutations ------------------------------------------------------------
+
+    def allocate(self, logical: int, now: float) -> None:
+        """Consume one free slot for logical block ``logical``."""
+        if self.free_blocks <= 0:
+            raise DeviceError(f"segment {self.index} has no free blocks")
+        if logical in self.live:
+            raise DeviceError(
+                f"logical block {logical} already live in segment {self.index}"
+            )
+        self.free_blocks -= 1
+        self.live.add(logical)
+        self.last_write_time = now
+
+    def invalidate(self, logical: int) -> None:
+        """Mark the slot holding ``logical`` dead (it was overwritten or
+        deleted elsewhere)."""
+        try:
+            self.live.remove(logical)
+        except KeyError:
+            raise DeviceError(
+                f"logical block {logical} not live in segment {self.index}"
+            ) from None
+        self.dead_blocks += 1
+
+    def erase(self) -> None:
+        """Erase the segment.  All live data must have been copied away."""
+        if self.live:
+            raise DeviceError(
+                f"segment {self.index} erased with {len(self.live)} live blocks"
+            )
+        self.dead_blocks = 0
+        self.free_blocks = self.capacity
+        self.erase_count += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Segment({self.index}, live={self.live_blocks}, "
+            f"dead={self.dead_blocks}, free={self.free_blocks}, "
+            f"erases={self.erase_count})"
+        )

@@ -1,0 +1,20 @@
+"""File-system overhead models for the OmniBook testbed.
+
+The paper's Table 1 numbers "all include DOS file system overhead"; the
+flash card additionally runs Microsoft Flash File System 2.00, whose
+performance "degrades with file size" (the Figure 1 anomaly), and the
+disk/flash-disk numbers come with and without DoubleSpace/Stacker
+compression.  These models supply exactly those overheads on top of the raw
+device models, so the testbed can regenerate Table 1 and Figures 1 and 3.
+"""
+
+from repro.fs.compression import CompressionModel, DataKind
+from repro.fs.dosfs import DosFileSystem
+from repro.fs.mffs import MicrosoftFlashFileSystem
+
+__all__ = [
+    "CompressionModel",
+    "DataKind",
+    "DosFileSystem",
+    "MicrosoftFlashFileSystem",
+]

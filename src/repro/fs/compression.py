@@ -1,0 +1,116 @@
+"""On-the-fly compression model (DoubleSpace / Stacker / MFFS built-in).
+
+The paper's compression experiments used "the first 2 Kbytes of Herman
+Melville's well-known novel, Moby-Dick, repeated throughout each file
+(obtaining compression ratios around 50%)" for compressible data, and
+random bytes for uncompressible data.
+
+The model has three cost components, calibrated against Table 1:
+
+* a *compression ratio* per data kind (0.5 for the Moby-Dick text, 1.0 for
+  random data);
+* CPU bandwidths for compressing and decompressing on the OmniBook's
+  25 MHz 386SXLV;
+* a fixed per-file overhead (compressed-volume-file lookup), which is what
+  makes small compressed reads slow (CU140: 116 -> 64 KB/s on 4 KB files)
+  while large reads run at full speed (543 KB/s either way).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import transfer_time
+
+
+class DataKind(enum.Enum):
+    """The two data kinds the paper's benchmarks use."""
+
+    RANDOM = "random"  #: incompressible random bytes
+    TEXT = "text"  #: Moby-Dick text, ~50% compressible
+
+
+@dataclass(frozen=True)
+class CompressionModel:
+    """Timing and ratio model for a software compression layer.
+
+    Attributes:
+        name: layer name (``doublespace``, ``stacker``, ``mffs``).
+        text_ratio: compressed/original size for compressible text.
+        compress_bps: CPU compression bandwidth, bytes/s.
+        decompress_bps: CPU decompression bandwidth, bytes/s.
+        per_file_overhead_s: fixed cost per file open through the
+            compressed-volume layer.
+        sync_write_extra_s: read-modify-write penalty per synchronous
+            write call into the compressed volume (cluster boundaries force
+            a fetch-decompress-merge-recompress cycle on some layers).
+    """
+
+    name: str
+    text_ratio: float = 0.5
+    compress_bps: float = 500 * 1024
+    decompress_bps: float = 4 * 1024 * 1024
+    per_file_overhead_s: float = 0.0
+    sync_write_extra_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.text_ratio <= 1.0:
+            raise ConfigurationError("text_ratio must be in (0, 1]")
+
+    def ratio(self, kind: DataKind) -> float:
+        """Compressed-size ratio for ``kind`` (1.0 = incompressible)."""
+        return 1.0 if kind is DataKind.RANDOM else self.text_ratio
+
+    def compressed_bytes(self, nbytes: int, kind: DataKind) -> int:
+        """Bytes that reach the device after compression."""
+        return max(1, int(nbytes * self.ratio(kind)))
+
+    def compress_time(self, nbytes: int, kind: DataKind) -> float:
+        """CPU seconds to compress ``nbytes`` of ``kind`` data.
+
+        Random data still pays the compressor's scan (it must discover the
+        data is incompressible), which the paper observes as slower large
+        writes under compression.
+        """
+        return transfer_time(nbytes, self.compress_bps)
+
+    def decompress_time(self, nbytes: int, kind: DataKind) -> float:
+        """CPU seconds to decompress ``nbytes`` (original size) of data."""
+        if kind is DataKind.RANDOM:
+            # Stored raw; only a cheap copy is needed.
+            return transfer_time(nbytes, self.decompress_bps * 4)
+        return transfer_time(nbytes, self.decompress_bps)
+
+
+#: DoubleSpace as configured on the CU140: large per-file lookup penalty
+#: (the 116 -> 64 KB/s small-read drop in Table 1).
+DOUBLESPACE = CompressionModel(
+    name="doublespace",
+    text_ratio=0.5,
+    compress_bps=500 * 1024,
+    decompress_bps=4 * 1024 * 1024,
+    per_file_overhead_s=0.028,
+)
+
+#: Stacker on the SunDisk flash disk: small per-file penalty (280 -> 218
+#: KB/s on 4 KB reads).
+STACKER = CompressionModel(
+    name="stacker",
+    text_ratio=0.5,
+    compress_bps=500 * 1024,
+    decompress_bps=2 * 1024 * 1024,
+    per_file_overhead_s=0.004,
+    sync_write_extra_s=0.045,
+)
+
+#: MFFS 2.00 built-in compression (always on); decompression roughly halves
+#: small-read bandwidth (645 -> 345 KB/s in Table 1).
+MFFS_COMPRESSION = CompressionModel(
+    name="mffs",
+    text_ratio=0.5,
+    compress_bps=450 * 1024,
+    decompress_bps=700 * 1024,
+    per_file_overhead_s=0.0,
+)

@@ -1,0 +1,19 @@
+"""A software model of the paper's hardware testbed: an HP OmniBook 300
+running MS-DOS 5.0 with a Western Digital Caviar Ultralite CU140, a SunDisk
+SDP10 flash disk, and an Intel Series 2 flash card under the Microsoft
+Flash File System 2.00.
+
+The testbed regenerates the hardware-measurement artefacts: Table 1
+(micro-benchmark throughputs), Figure 1 (MFFS write-latency anomaly), and
+Figure 3 (throughput vs. cumulative writes at different space
+utilizations), and provides the "run the synth trace on the testbed" side
+of the section 5.1 simulator validation.
+"""
+
+from repro.testbed.omnibook import (
+    BenchmarkResult,
+    OmniBook,
+    StorageSetup,
+)
+
+__all__ = ["BenchmarkResult", "OmniBook", "StorageSetup"]

@@ -1,0 +1,49 @@
+"""Trace machinery: records, containers, preprocessing, statistics, I/O,
+and the synthetic workload generators that stand in for the paper's
+``mac``/``dos``/``hp``/``synth`` traces (see DESIGN.md section 1 for the
+substitution rationale).
+"""
+
+from repro.traces.record import BlockOp, Operation, TraceRecord
+from repro.traces.trace import Trace
+from repro.traces.filemap import FileMapper
+from repro.traces.stats import TraceStatistics, compute_statistics
+from repro.traces.io import load_trace, save_trace
+from repro.traces.transform import (
+    concat,
+    filter_ops,
+    interleave,
+    scale_time,
+    time_slice,
+)
+from repro.traces.synthetic import SyntheticWorkload
+from repro.traces.workloads import (
+    DosWorkload,
+    HpWorkload,
+    MacWorkload,
+    WorkloadSpec,
+    workload_by_name,
+)
+
+__all__ = [
+    "BlockOp",
+    "DosWorkload",
+    "FileMapper",
+    "HpWorkload",
+    "MacWorkload",
+    "Operation",
+    "SyntheticWorkload",
+    "Trace",
+    "TraceRecord",
+    "TraceStatistics",
+    "WorkloadSpec",
+    "compute_statistics",
+    "concat",
+    "filter_ops",
+    "interleave",
+    "load_trace",
+    "save_trace",
+    "scale_time",
+    "time_slice",
+    "workload_by_name",
+]

@@ -1,0 +1,85 @@
+"""Plain-text trace (de)serialisation.
+
+Format: one record per line, whitespace separated::
+
+    <time-seconds> <op> <file-id> <offset-bytes> <size-bytes>
+
+``op`` is one of ``read``/``write``/``delete``.  Lines starting with ``#``
+are comments; a ``#!`` header line carries trace metadata as ``key=value``
+pairs (currently ``name`` and ``block_size``).  ``.gz`` paths are
+transparently compressed.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import IO
+
+from repro.errors import TraceError
+from repro.traces.record import Operation, TraceRecord
+from repro.traces.trace import Trace
+from repro.units import KB
+
+
+def save_trace(trace: Trace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` in the plain-text format."""
+    path = Path(path)
+    with _open(path, "wt") as stream:
+        stream.write(f"#! name={trace.name} block_size={trace.block_size}\n")
+        for record in trace:
+            stream.write(
+                f"{record.time:.6f} {record.op.value} {record.file_id} "
+                f"{record.offset} {record.size}\n"
+            )
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    name = path.stem
+    block_size = KB
+    records: list[TraceRecord] = []
+    with _open(path, "rt") as stream:
+        for line_number, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#!"):
+                name, block_size = _parse_header(line, name, block_size)
+                continue
+            if line.startswith("#"):
+                continue
+            records.append(_parse_record(line, path, line_number))
+    return Trace(name, records, block_size=block_size)
+
+
+def _open(path: Path, mode: str) -> IO[str]:
+    if path.suffix == ".gz":
+        return gzip.open(path, mode)  # type: ignore[return-value]
+    return open(path, mode)
+
+
+def _parse_header(line: str, name: str, block_size: int) -> tuple[str, int]:
+    for token in line[2:].split():
+        key, _, value = token.partition("=")
+        if key == "name":
+            name = value
+        elif key == "block_size":
+            block_size = int(value)
+    return name, block_size
+
+
+def _parse_record(line: str, path: Path, line_number: int) -> TraceRecord:
+    fields = line.split()
+    if len(fields) != 5:
+        raise TraceError(f"{path}:{line_number}: expected 5 fields, got {len(fields)}")
+    try:
+        time = float(fields[0])
+        op = Operation(fields[1])
+        file_id = int(fields[2])
+        offset = int(fields[3])
+        size = int(fields[4])
+    except ValueError as exc:
+        raise TraceError(f"{path}:{line_number}: {exc}") from exc
+    return TraceRecord(time=time, op=op, file_id=file_id, offset=offset, size=size)

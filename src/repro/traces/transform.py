@@ -1,0 +1,158 @@
+"""Trace transformation utilities.
+
+Composable operations over traces: window extraction, time scaling,
+operation filtering, concatenation, and timestamp interleaving — the
+plumbing a trace-driven study needs once it outgrows single canned
+workloads (e.g. "play the dos trace twice as fast, overlaid on mac").
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Iterable, Sequence
+
+from repro.errors import TraceError
+from repro.traces.record import Operation, TraceRecord
+from repro.traces.trace import Trace
+
+
+def time_slice(trace: Trace, start_s: float, end_s: float) -> Trace:
+    """Records with ``start_s <= time < end_s``, rebased to start at 0."""
+    if end_s <= start_s:
+        raise TraceError(f"empty window [{start_s}, {end_s})")
+    records = [
+        TraceRecord(
+            time=record.time - start_s,
+            op=record.op,
+            file_id=record.file_id,
+            offset=record.offset,
+            size=record.size,
+        )
+        for record in trace
+        if start_s <= record.time < end_s
+    ]
+    return Trace(
+        f"{trace.name}[{start_s:g}:{end_s:g}]",
+        records,
+        block_size=trace.block_size,
+        metadata=trace.metadata,
+    )
+
+
+def scale_time(trace: Trace, factor: float) -> Trace:
+    """Stretch (>1) or compress (<1) the trace's timeline by ``factor``."""
+    if factor <= 0:
+        raise TraceError(f"time factor must be positive, got {factor}")
+    records = [
+        TraceRecord(
+            time=record.time * factor,
+            op=record.op,
+            file_id=record.file_id,
+            offset=record.offset,
+            size=record.size,
+        )
+        for record in trace
+    ]
+    return Trace(
+        f"{trace.name}x{factor:g}",
+        records,
+        block_size=trace.block_size,
+        metadata=trace.metadata,
+    )
+
+
+def filter_ops(trace: Trace, keep: Iterable[Operation]) -> Trace:
+    """Only the records whose operation kind is in ``keep``."""
+    kinds = set(keep)
+    records = [record for record in trace if record.op in kinds]
+    return Trace(
+        f"{trace.name}:{'+'.join(sorted(k.value for k in kinds))}",
+        records,
+        block_size=trace.block_size,
+        metadata=trace.metadata,
+    )
+
+
+def concat(traces: Sequence[Trace], gap_s: float = 0.0) -> Trace:
+    """Play ``traces`` back to back, separated by ``gap_s`` of idle time.
+
+    File-id spaces are kept disjoint so the phases do not share data.
+    """
+    if not traces:
+        raise TraceError("concat needs at least one trace")
+    if gap_s < 0:
+        raise TraceError("gap must be >= 0")
+    block_size = traces[0].block_size
+    records: list[TraceRecord] = []
+    clock_base = 0.0
+    file_base = 0
+    for trace in traces:
+        if trace.block_size != block_size:
+            raise TraceError("cannot concat traces with different block sizes")
+        max_file = -1
+        for record in trace:
+            max_file = max(max_file, record.file_id)
+            records.append(
+                TraceRecord(
+                    time=clock_base + record.time,
+                    op=record.op,
+                    file_id=file_base + record.file_id,
+                    offset=record.offset,
+                    size=record.size,
+                )
+            )
+        clock_base += trace.duration + gap_s
+        file_base += max_file + 1
+    return Trace(
+        "+".join(trace.name for trace in traces),
+        records,
+        block_size=block_size,
+    )
+
+
+def interleave(traces: Sequence[Trace]) -> Trace:
+    """Merge ``traces`` by timestamp (concurrent workloads on one machine).
+
+    File-id spaces are kept disjoint; all traces must share a block size.
+    """
+    if not traces:
+        raise TraceError("interleave needs at least one trace")
+    block_size = traces[0].block_size
+    streams = []
+    file_base = 0
+    for order, trace in enumerate(traces):
+        if trace.block_size != block_size:
+            raise TraceError("cannot interleave traces with different block sizes")
+        max_file = max((record.file_id for record in trace), default=-1)
+        streams.append((trace, file_base))
+        file_base += max_file + 1
+
+    heap: list[tuple[float, int, int, int]] = []
+    for stream_index, (trace, _) in enumerate(streams):
+        if len(trace):
+            heapq.heappush(heap, (trace[0].time, stream_index, 0, stream_index))
+
+    records: list[TraceRecord] = []
+    while heap:
+        time, _, position, stream_index = heapq.heappop(heap)
+        trace, base = streams[stream_index]
+        record = trace[position]
+        records.append(
+            TraceRecord(
+                time=record.time,
+                op=record.op,
+                file_id=base + record.file_id,
+                offset=record.offset,
+                size=record.size,
+            )
+        )
+        if position + 1 < len(trace):
+            heapq.heappush(
+                heap,
+                (trace[position + 1].time, stream_index, position + 1, stream_index),
+            )
+    return Trace(
+        "|".join(trace.name for trace, _ in streams),
+        records,
+        block_size=block_size,
+    )

@@ -1,0 +1,482 @@
+"""Statistical stand-ins for the paper's ``mac``, ``dos``, and ``hp`` traces.
+
+The original traces (PowerBook Duo file-level traces, Kester Li's Windows
+3.1 traces, and the Ruemmler & Wilkes HP-UX disk traces) are not publicly
+archived.  Following the substitution rule in DESIGN.md section 1, each is
+replaced by a seeded synthetic generator matched to every first-order
+statistic the paper reports for it in Table 3:
+
+================================  =======  =======  ========
+statistic                           mac      dos      hp
+================================  =======  =======  ========
+duration                           3.5 h    1.5 h    4.4 days
+distinct Kbytes accessed           22,000   16,300   32,000
+fraction of reads                  0.50     0.24     0.38
+block size (Kbytes)                1        0.5      1
+mean read size (blocks)            1.3      3.8      4.3
+mean write size (blocks)           1.2      3.4      6.2
+inter-arrival mean (s)             0.078    0.528    11.1
+inter-arrival max (s)              90.8     713.0    30 min
+inter-arrival sigma (s)            0.57     10.8     112.3
+deletions                          no       yes      no
+================================  =======  =======  ========
+
+Locality — the one dimension Table 3 does not pin down — is modelled with a
+Zipf-like file-popularity distribution (hot files get most accesses), except
+for ``hp``, whose records sit *below* the buffer cache in the original
+system, so its locality has already been largely stripped; it draws files
+closer to uniformly and is simulated with no DRAM cache, exactly as in the
+paper.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import TraceError
+from repro.traces.record import Operation, TraceRecord
+from repro.traces.trace import Trace
+from repro.units import KB
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameter set for a Table 3-shaped synthetic workload.
+
+    The generator draws, per operation: an inter-arrival gap from a
+    two-component exponential mixture (bursty foreground + heavy pauses), an
+    operation kind, a file from a Zipf-ranked popularity distribution, a
+    block-aligned transfer size from a shifted-geometric distribution with
+    the target mean, and an offset uniform within the file.
+    """
+
+    name: str
+    duration_s: float
+    distinct_kbytes: int
+    read_fraction: float
+    block_size: int
+    mean_read_blocks: float
+    mean_write_blocks: float
+    interarrival_mean_s: float
+    interarrival_max_s: float
+    #: fraction of gaps drawn from the bursty (short) component
+    burst_weight: float = 0.9
+    #: mean of the bursty component, as a fraction of the overall mean
+    burst_mean_scale: float = 0.2
+    #: mean of the mid-length pause component (seconds); ``None`` solves it
+    #: from the overall target mean (legacy two-component behaviour)
+    mid_mean_s: float | None = None
+    #: fraction of gaps that are long user-idle sessions (think-time,
+    #: meetings); these are what let the disk spin down
+    session_fraction: float = 0.0
+    #: uniform range of session gaps, seconds
+    session_min_s: float = 10.0
+    session_max_s: float = 60.0
+    delete_fraction: float = 0.0
+    #: Zipf exponent for file popularity (0 = uniform)
+    zipf_exponent: float = 0.9
+    #: optional hot/cold overlay: fraction of accesses steered at the hot
+    #: file set (``None`` = pure Zipf).  Buffer-cache hit rates in real
+    #: file-level traces come from a small working set; Table 3 does not
+    #: pin locality, so it is an explicit, documented knob.
+    hot_access_fraction: float | None = None
+    #: fraction of the dataset considered hot
+    hot_data_fraction: float = 0.1
+    #: hot-access fraction for WRITES specifically (``None`` = same as
+    #: ``hot_access_fraction``).  Personal-computer write traffic is far
+    #: more concentrated than read traffic (the same documents, mail files,
+    #: and caches are rewritten constantly), and this concentration is what
+    #: lets a log-structured flash cleaner find nearly-dead segments.
+    write_hot_access_fraction: float | None = None
+    #: probability the next operation targets the same file as the previous
+    #: one (temporal run locality: applications touch a file repeatedly)
+    repeat_fraction: float = 0.0
+    #: every N operations, rotate one file out of the hot set and promote a
+    #: cold one (0 = static hot set).  Slow working-set drift is how a trace
+    #: can combine a high cache hit rate with broad distinct-data coverage.
+    hot_drift_ops: int = 0
+    #: file size in blocks: drawn uniformly from [min, max]
+    min_file_blocks: int = 4
+    max_file_blocks: int = 64
+    #: fraction of operations that are sequential continuations of the
+    #: previous access to the previous file (drives the no-seek optimisation)
+    sequential_fraction: float = 0.5
+    #: fraction of transfers drawn from the heavy (large) size component;
+    #: real file-system traces have rare multi-hundred-Kbyte transfers that
+    #: fill or bypass a 32 KB SRAM buffer (paper section 5.5)
+    large_fraction: float = 0.0
+    #: mean of the heavy size component, in blocks
+    large_mean_blocks: float = 32.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise TraceError("read_fraction must be in [0, 1]")
+        if self.read_fraction + self.delete_fraction > 1.0:
+            raise TraceError("read + delete fractions must not exceed 1")
+        if self.block_size <= 0:
+            raise TraceError("block_size must be positive")
+        if self.min_file_blocks > self.max_file_blocks:
+            raise TraceError("min_file_blocks must be <= max_file_blocks")
+
+    @property
+    def n_operations(self) -> int:
+        """Expected operation count: duration / mean inter-arrival."""
+        return max(1, int(self.duration_s / self.interarrival_mean_s))
+
+    def generate(self, seed: int = 0, n_ops: int | None = None) -> Trace:
+        """Generate a trace with ``n_ops`` operations (default: enough to
+        span the workload's nominal duration)."""
+        generator = _WorkloadGenerator(self, random.Random(seed))
+        return generator.run(n_ops if n_ops is not None else self.n_operations, seed)
+
+
+class _WorkloadGenerator:
+    """One-shot generation state for a :class:`WorkloadSpec`."""
+
+    def __init__(self, spec: WorkloadSpec, rng: random.Random) -> None:
+        self.spec = spec
+        self.rng = rng
+        self._build_files()
+        self._build_popularity()
+        self._cursor: dict[int, int] = {}  # file -> next sequential block
+        self.deleted: set[int] = set()
+        self._gap_chunk: list[float] = []
+        self._gap_index = 0
+
+    def _build_files(self) -> None:
+        spec = self.spec
+        target_blocks = spec.distinct_kbytes * KB // spec.block_size
+        sizes: list[int] = []
+        total = 0
+        while total < target_blocks:
+            size = self.rng.randint(spec.min_file_blocks, spec.max_file_blocks)
+            size = min(size, int(target_blocks - total)) or 1
+            sizes.append(size)
+            total += size
+        self.file_blocks = sizes
+
+    def _build_popularity(self) -> None:
+        """Zipf weights over a shuffled file ranking, plus the hot set."""
+        spec = self.spec
+        n = len(self.file_blocks)
+        ranks = list(range(n))
+        self.rng.shuffle(ranks)
+        weights = [1.0 / (rank + 1) ** spec.zipf_exponent for rank in range(n)]
+        cumulative = []
+        running = 0.0
+        for weight in weights:
+            running += weight
+            cumulative.append(running)
+        self.files_by_rank = ranks
+        self.cumulative = cumulative
+        self.total_weight = running
+
+        self.hot_files: list[int] = []
+        self.cold_files: list[int] = []
+        if spec.hot_access_fraction is not None:
+            target_blocks = spec.hot_data_fraction * sum(self.file_blocks)
+            hot_blocks = 0
+            for file_id in ranks:
+                if hot_blocks < target_blocks:
+                    self.hot_files.append(file_id)
+                    hot_blocks += self.file_blocks[file_id]
+                else:
+                    self.cold_files.append(file_id)
+            if not self.cold_files:  # degenerate: everything is hot
+                self.cold_files = list(self.hot_files)
+        self._hot_set = set(self.hot_files)
+
+    # -- draws ----------------------------------------------------------------
+
+    def _raw_interarrival(self) -> float:
+        """Draw from the burst / mid-pause / session mixture (unscaled)."""
+        spec = self.spec
+        burst_mean = spec.interarrival_mean_s * spec.burst_mean_scale
+        draw = self.rng.random()
+        if draw < spec.burst_weight:
+            gap = self.rng.expovariate(1.0 / burst_mean)
+        elif draw < spec.burst_weight + spec.session_fraction:
+            gap = self.rng.uniform(spec.session_min_s, spec.session_max_s)
+        else:
+            if spec.mid_mean_s is not None:
+                mid_mean = spec.mid_mean_s
+            else:
+                # Legacy two-component behaviour: solve the mid mean so the
+                # mixture hits the target overall mean.
+                mid_mean = (
+                    spec.interarrival_mean_s - spec.burst_weight * burst_mean
+                ) / (1.0 - spec.burst_weight)
+            gap = self.rng.expovariate(1.0 / mid_mean)
+        return min(gap, spec.interarrival_max_s)
+
+    def _interarrival(self) -> float:
+        """Next inter-arrival gap, rescaled in chunks to hit the target
+        mean exactly (the raw mixture is right only in expectation, and
+        capping at the maximum shaves its mean)."""
+        if self._gap_index >= len(self._gap_chunk):
+            chunk = [self._raw_interarrival() for _ in range(4096)]
+            realized = sum(chunk) / len(chunk)
+            scale = self.spec.interarrival_mean_s / realized if realized > 0 else 1.0
+            cap = self.spec.interarrival_max_s
+            self._gap_chunk = [min(gap * scale, cap) for gap in chunk]
+            self._gap_index = 0
+        gap = self._gap_chunk[self._gap_index]
+        self._gap_index += 1
+        return gap
+
+    def _choose_file(self, op: Operation = Operation.READ) -> int:
+        spec = self.spec
+        if spec.hot_access_fraction is not None:
+            hot_fraction = spec.hot_access_fraction
+            if op is Operation.WRITE and spec.write_hot_access_fraction is not None:
+                hot_fraction = spec.write_hot_access_fraction
+            if self.rng.random() < hot_fraction:
+                return self.rng.choice(self.hot_files)
+            return self.rng.choice(self.cold_files)
+        draw = self.rng.random() * self.total_weight
+        low, high = 0, len(self.cumulative) - 1
+        while low < high:
+            mid = (low + high) // 2
+            if self.cumulative[mid] < draw:
+                low = mid + 1
+            else:
+                high = mid
+        return self.files_by_rank[low]
+
+    def _choose_size_blocks(self, mean_blocks: float, file_size: int) -> int:
+        """Two-component size mix with the requested overall mean.
+
+        Most transfers come from a shifted-geometric body; a small
+        ``large_fraction`` come from a heavy component with mean
+        ``large_mean_blocks``.  The body mean is solved so the mixture hits
+        ``mean_blocks`` overall.
+        """
+        spec = self.spec
+        if spec.large_fraction > 0 and self.rng.random() < spec.large_fraction:
+            blocks = self._geometric(spec.large_mean_blocks)
+        else:
+            body_mean = mean_blocks
+            if spec.large_fraction > 0:
+                body_mean = (
+                    mean_blocks - spec.large_fraction * spec.large_mean_blocks
+                ) / (1.0 - spec.large_fraction)
+            blocks = self._geometric(max(1.0, body_mean))
+        return max(1, min(blocks, file_size))
+
+    def _geometric(self, mean_blocks: float) -> int:
+        """Shifted geometric draw with the given mean (>= 1)."""
+        if mean_blocks <= 1.0:
+            return 1
+        success = 1.0 / mean_blocks
+        draw = self.rng.random()
+        return 1 + int(math.log(max(draw, 1e-12)) / math.log(1.0 - success))
+
+    def _choose_operation(self) -> Operation:
+        draw = self.rng.random()
+        if draw < self.spec.read_fraction:
+            return Operation.READ
+        if draw < self.spec.read_fraction + self.spec.delete_fraction:
+            return Operation.DELETE
+        return Operation.WRITE
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self, n_ops: int, seed: int) -> Trace:
+        spec = self.spec
+        records: list[TraceRecord] = []
+        clock = 0.0
+        last_file: int | None = None
+        while len(records) < n_ops:
+            clock += self._interarrival()
+            op = self._choose_operation()
+            repeatable = (
+                last_file is not None
+                and last_file not in self.deleted
+                # Write bursts re-target the hot working set: a write does
+                # not inherit a cold file from a preceding cold read, which
+                # would smear write traffic over cold data.
+                and (
+                    op is not Operation.WRITE
+                    or spec.write_hot_access_fraction is None
+                    or last_file in self._hot_set
+                )
+            )
+            if spec.hot_drift_ops and len(records) % spec.hot_drift_ops == 0:
+                self._drift_hot_set()
+            if repeatable and self.rng.random() < spec.repeat_fraction:
+                file_id = last_file
+            else:
+                file_id = self._choose_file(op)
+            last_file = file_id
+            file_size = self.file_blocks[file_id]
+
+            if op is Operation.DELETE:
+                if file_id in self.deleted or len(self.deleted) >= len(self.file_blocks) - 1:
+                    continue
+                self.deleted.add(file_id)
+                self._cursor.pop(file_id, None)
+                records.append(TraceRecord(time=clock, op=op, file_id=file_id))
+                continue
+
+            if file_id in self.deleted:
+                if op is Operation.READ:
+                    continue  # cannot read a deleted file; skip the draw
+                self.deleted.discard(file_id)  # a write recreates the file
+
+            mean = spec.mean_read_blocks if op is Operation.READ else spec.mean_write_blocks
+            nblocks = self._choose_size_blocks(mean, file_size)
+            offset_block = self._choose_offset_block(file_id, file_size, nblocks)
+            records.append(
+                TraceRecord(
+                    time=clock,
+                    op=op,
+                    file_id=file_id,
+                    offset=offset_block * spec.block_size,
+                    size=nblocks * spec.block_size,
+                )
+            )
+        return Trace(
+            spec.name,
+            records,
+            block_size=spec.block_size,
+            metadata={"generator": "WorkloadSpec", "seed": seed},
+        )
+
+    def _drift_hot_set(self) -> None:
+        """Swap one hot file for a cold one (working-set drift)."""
+        if not self.hot_files or not self.cold_files:
+            return
+        hot_index = self.rng.randrange(len(self.hot_files))
+        cold_index = self.rng.randrange(len(self.cold_files))
+        hot_file = self.hot_files[hot_index]
+        cold_file = self.cold_files[cold_index]
+        self.hot_files[hot_index] = cold_file
+        self.cold_files[cold_index] = hot_file
+        self._hot_set.discard(hot_file)
+        self._hot_set.add(cold_file)
+
+    def _choose_offset_block(self, file_id: int, file_size: int, nblocks: int) -> int:
+        limit = file_size - nblocks
+        if limit <= 0:
+            self._cursor[file_id] = 0
+            return 0
+        cursor = self._cursor.get(file_id)
+        if cursor is not None and cursor <= limit and (
+            self.rng.random() < self.spec.sequential_fraction
+        ):
+            offset = cursor
+        else:
+            offset = self.rng.randint(0, limit)
+        self._cursor[file_id] = (offset + nblocks) % max(1, file_size)
+        return offset
+
+
+def MacWorkload() -> WorkloadSpec:
+    """Table 3 parameters for the ``mac`` trace (PowerBook Duo 230)."""
+    return WorkloadSpec(
+        name="mac",
+        duration_s=3.5 * 3600,
+        distinct_kbytes=22_000,
+        read_fraction=0.50,
+        block_size=KB,
+        mean_read_blocks=1.3,
+        mean_write_blocks=1.2,
+        interarrival_mean_s=0.078,
+        interarrival_max_s=90.8,
+        burst_weight=0.9,
+        burst_mean_scale=0.25,
+        mid_mean_s=0.4,
+        session_fraction=2e-4,
+        session_min_s=10.0,
+        session_max_s=90.8,
+        zipf_exponent=1.1,
+        hot_access_fraction=0.85,
+        hot_data_fraction=0.05,
+        write_hot_access_fraction=0.995,
+        repeat_fraction=0.5,
+        sequential_fraction=0.6,
+        max_file_blocks=256,
+        large_fraction=0.002,
+        large_mean_blocks=24.0,
+    )
+
+
+def DosWorkload() -> WorkloadSpec:
+    """Table 3 parameters for the ``dos`` trace (Windows 3.1 desktops).
+
+    The dos trace is the only one with deletions (paper section 4.1).
+    """
+    return WorkloadSpec(
+        name="dos",
+        duration_s=1.5 * 3600,
+        distinct_kbytes=16_300,
+        read_fraction=0.24,
+        block_size=KB // 2,
+        mean_read_blocks=3.8,
+        mean_write_blocks=3.4,
+        interarrival_mean_s=0.528,
+        interarrival_max_s=713.0,
+        burst_weight=0.9,
+        burst_mean_scale=0.2,
+        mid_mean_s=1.2,
+        session_fraction=0.002,
+        session_min_s=60.0,
+        session_max_s=713.0,
+        delete_fraction=0.03,
+        zipf_exponent=0.2,
+        repeat_fraction=0.8,
+        sequential_fraction=0.9,
+        max_file_blocks=512,
+        large_fraction=0.02,
+        large_mean_blocks=40.0,
+    )
+
+
+def HpWorkload() -> WorkloadSpec:
+    """Table 3 parameters for the ``hp`` trace (HP-UX, disk-level).
+
+    The original records sit below the buffer cache, so locality is largely
+    stripped (low Zipf exponent) and simulations use a zero-size DRAM cache.
+    """
+    return WorkloadSpec(
+        name="hp",
+        duration_s=4.4 * 24 * 3600,
+        distinct_kbytes=32_000,
+        read_fraction=0.38,
+        block_size=KB,
+        mean_read_blocks=4.3,
+        mean_write_blocks=6.2,
+        interarrival_mean_s=11.1,
+        interarrival_max_s=30.0 * 60,
+        burst_weight=0.9,
+        burst_mean_scale=0.045,
+        mid_mean_s=2.0,
+        session_fraction=0.007,
+        session_min_s=900.0,
+        session_max_s=1800.0,
+        zipf_exponent=0.3,
+        repeat_fraction=0.2,
+        sequential_fraction=0.3,
+        max_file_blocks=512,
+        large_fraction=0.02,
+        large_mean_blocks=60.0,
+    )
+
+
+_FACTORIES = {
+    "mac": MacWorkload,
+    "dos": DosWorkload,
+    "hp": HpWorkload,
+}
+
+
+def workload_by_name(name: str) -> WorkloadSpec:
+    """Look up one of the paper's trace workloads by name."""
+    try:
+        return _FACTORIES[name]()
+    except KeyError:
+        raise TraceError(
+            f"unknown workload {name!r}; expected one of {sorted(_FACTORIES)}"
+        ) from None

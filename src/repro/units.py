@@ -1,0 +1,62 @@
+"""Unit constants and conversion helpers used throughout the package.
+
+Conventions (documented in DESIGN.md section 4):
+
+* time is measured in **seconds** as ``float``
+* data sizes are measured in **bytes** as ``int``
+* energy is measured in **Joules** as ``float``
+* power is measured in **Watts** as ``float``
+* throughput is measured in **bytes per second** as ``float``
+
+The paper quotes sizes in Kbytes/Mbytes (binary powers, as was universal in
+1994) and throughput in Kbytes/s; the helpers below convert between the two
+worlds so that device specs can be transcribed from the paper verbatim.
+"""
+
+from __future__ import annotations
+
+#: One Kbyte (binary, as used throughout the paper).
+KB = 1024
+
+#: One Mbyte (binary).
+MB = 1024 * 1024
+
+#: One millisecond in seconds.
+MS = 1e-3
+
+#: One microsecond in seconds.
+US = 1e-6
+
+#: Default sector size shared by the SunDisk flash disk and DOS (bytes).
+SECTOR = 512
+
+
+def kbps(kbytes_per_second: float) -> float:
+    """Convert a throughput quoted in Kbytes/s into bytes/s."""
+    return kbytes_per_second * KB
+
+
+def to_kb(nbytes: float) -> float:
+    """Convert bytes into Kbytes (binary)."""
+    return nbytes / KB
+
+
+def to_mb(nbytes: float) -> float:
+    """Convert bytes into Mbytes (binary)."""
+    return nbytes / MB
+
+
+def ms(milliseconds: float) -> float:
+    """Convert a latency quoted in milliseconds into seconds."""
+    return milliseconds * MS
+
+
+def transfer_time(nbytes: int, throughput_bps: float) -> float:
+    """Time in seconds to move ``nbytes`` at ``throughput_bps`` bytes/s.
+
+    A zero or negative throughput means "instantaneous" (used for devices
+    whose datasheet folds the transfer into the fixed latency).
+    """
+    if nbytes <= 0 or throughput_bps <= 0:
+        return 0.0
+    return nbytes / throughput_bps

@@ -1,0 +1,86 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.specs import (
+    CU140_DATASHEET,
+    INTEL_DATASHEET,
+    SDP5A_DATASHEET,
+    SDP5_DATASHEET,
+)
+from repro.traces.record import Operation, TraceRecord
+from repro.traces.trace import Trace
+from repro.units import KB
+
+
+@pytest.fixture
+def tiny_trace() -> Trace:
+    """Four-record trace touching two files (1 KB blocks)."""
+    return Trace(
+        "tiny",
+        [
+            TraceRecord(time=0.0, op=Operation.WRITE, file_id=1, offset=0, size=2048),
+            TraceRecord(time=0.1, op=Operation.READ, file_id=1, offset=0, size=1024),
+            TraceRecord(time=0.2, op=Operation.WRITE, file_id=2, offset=0, size=1024),
+            TraceRecord(time=0.3, op=Operation.READ, file_id=2, offset=0, size=1024),
+        ],
+        block_size=KB,
+    )
+
+
+@pytest.fixture
+def small_mac_trace() -> Trace:
+    """A short slice of the mac workload (cached per session below)."""
+    return _mac_trace()
+
+
+@pytest.fixture
+def small_synth_trace() -> Trace:
+    return _synth_trace()
+
+
+def _memoized(factory):
+    cache = {}
+
+    def wrapper():
+        if "value" not in cache:
+            cache["value"] = factory()
+        return cache["value"]
+
+    return wrapper
+
+
+@_memoized
+def _mac_trace() -> Trace:
+    from repro.traces.workloads import workload_by_name
+
+    return workload_by_name("mac").generate(seed=42, n_ops=4000)
+
+
+@_memoized
+def _synth_trace() -> Trace:
+    from repro.traces.synthetic import SyntheticWorkload
+
+    return SyntheticWorkload().generate(n_ops=2000, seed=42)
+
+
+@pytest.fixture
+def disk_spec():
+    return CU140_DATASHEET
+
+
+@pytest.fixture
+def card_spec():
+    return INTEL_DATASHEET
+
+
+@pytest.fixture
+def flash_disk_spec():
+    return SDP5_DATASHEET
+
+
+@pytest.fixture
+def async_flash_disk_spec():
+    return SDP5A_DATASHEET

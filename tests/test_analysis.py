@@ -1,0 +1,127 @@
+"""Battery, endurance, and cost analyses."""
+
+import pytest
+
+from repro.analysis.battery import BatteryModel, battery_extension
+from repro.analysis.cost import (
+    StorageCost,
+    cost_comparison,
+    disk_cost,
+    dollars_per_mb_tradeoff,
+    dram_cost,
+    flash_cost,
+    sram_cost,
+)
+from repro.analysis.endurance import endurance_report
+from repro.core.config import SimulationConfig
+from repro.core.simulator import simulate
+from repro.errors import ConfigurationError
+from repro.units import MB
+
+
+class TestBatteryModel:
+    def test_paper_headline_22_percent(self):
+        # Storage at 20% of system energy, flash at ~1/10 of disk energy.
+        model = BatteryModel(storage_share=0.20)
+        assert model.life_extension(0.1) == pytest.approx(0.22, abs=0.01)
+
+    def test_doubling_at_54_percent_share(self):
+        model = BatteryModel(storage_share=0.54)
+        assert model.life_extension(0.0) == pytest.approx(1.17, abs=0.01)
+
+    def test_no_savings_no_extension(self):
+        assert BatteryModel().life_extension(1.0) == pytest.approx(0.0)
+
+    def test_worse_storage_shrinks_life(self):
+        assert BatteryModel().life_extension(2.0) < 0
+
+    def test_invalid_share(self):
+        with pytest.raises(ConfigurationError):
+            BatteryModel(storage_share=0.0)
+
+    def test_negative_ratio_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatteryModel().life_extension(-0.5)
+
+    def test_battery_extension_from_results(self, small_synth_trace):
+        disk = simulate(small_synth_trace, SimulationConfig())
+        card = simulate(
+            small_synth_trace, SimulationConfig(device="intel-datasheet")
+        )
+        extension = battery_extension(disk, card, storage_share=0.20)
+        assert extension > 0.0
+
+
+class TestEndurance:
+    def test_report_from_card_result(self, small_synth_trace):
+        result = simulate(
+            small_synth_trace,
+            SimulationConfig(device="intel-datasheet", flash_utilization=0.9),
+        )
+        report = endurance_report(result)
+        assert report.lifetime_hours > 0
+        assert report.wear_ratio_vs_baseline is None
+
+    def test_ratio_against_baseline(self, small_synth_trace):
+        low = simulate(
+            small_synth_trace,
+            SimulationConfig(device="intel-datasheet", flash_utilization=0.5),
+        )
+        high = simulate(
+            small_synth_trace,
+            SimulationConfig(device="intel-datasheet", flash_utilization=0.95),
+        )
+        report = endurance_report(high, baseline=low)
+        assert report.wear_ratio_vs_baseline is not None
+
+    def test_disk_result_rejected(self, small_synth_trace):
+        disk = simulate(small_synth_trace, SimulationConfig())
+        with pytest.raises(ConfigurationError):
+            endurance_report(disk)
+
+    def test_lifetime_years(self, small_synth_trace):
+        result = simulate(
+            small_synth_trace,
+            SimulationConfig(device="intel-datasheet", flash_utilization=0.9),
+        )
+        report = endurance_report(result)
+        if report.lifetime_hours != float("inf"):
+            assert report.lifetime_years == pytest.approx(
+                report.lifetime_hours / 8760
+            )
+
+
+class TestCost:
+    def test_flash_more_expensive_than_disk(self):
+        comparison = cost_comparison(10 * MB)
+        assert comparison["flash"].low_dollars > comparison["disk"].high_dollars
+
+    def test_paper_price_ranges(self):
+        flash = flash_cost(1 * MB)
+        assert flash.low_dollars == pytest.approx(30.0)
+        assert flash.high_dollars == pytest.approx(50.0)
+        disk = disk_cost(1 * MB)
+        assert disk.low_dollars == pytest.approx(1.0)
+        assert disk.high_dollars == pytest.approx(5.0)
+
+    def test_sram_costs_a_few_dollars(self):
+        cost = sram_cost(32 * 1024)
+        assert 1.0 <= cost.midpoint_dollars <= 10.0
+
+    def test_midpoint(self):
+        cost = StorageCost("x", 10.0, 20.0)
+        assert cost.midpoint_dollars == 15.0
+
+    def test_dram_vs_flash_tradeoff(self):
+        tradeoff = dollars_per_mb_tradeoff(2 * MB, 4 * MB)
+        assert tradeoff["dram_dollars"] > 0
+        assert tradeoff["flash_dollars"] > tradeoff["dram_dollars"]
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cost_comparison(0)
+
+    def test_dram_cost_scales(self):
+        assert dram_cost(4 * MB).midpoint_dollars == pytest.approx(
+            4 * dram_cost(1 * MB).midpoint_dollars
+        )

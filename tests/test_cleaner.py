@@ -1,0 +1,114 @@
+"""Cleaning-policy victim selection."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.flash.cleaner import (
+    CostBenefitPolicy,
+    EnvyHybridPolicy,
+    GreedyPolicy,
+    cleaning_policy,
+)
+from repro.flash.segment import Segment
+
+
+def build_segments(live_counts, capacity=32, ages=None):
+    segments = []
+    for index, live in enumerate(live_counts):
+        segment = Segment(index, capacity)
+        for logical in range(live):
+            segment.allocate(index * 1000 + logical, 0.0)
+        # Fill the rest with dead blocks so nothing is erased-clean.
+        for logical in range(live, capacity):
+            segment.allocate(index * 1000 + logical, 0.0)
+            segment.invalidate(index * 1000 + logical)
+        if ages is not None:
+            segment.last_write_time = ages[index]
+        segments.append(segment)
+    return segments
+
+
+class TestGreedy:
+    def test_picks_lowest_live(self):
+        segments = build_segments([10, 3, 20])
+        victim = GreedyPolicy().choose_victim(segments, exclude=(), now=0.0)
+        assert victim.index == 1
+
+    def test_respects_exclusions(self):
+        segments = build_segments([10, 3, 20])
+        victim = GreedyPolicy().choose_victim(segments, exclude=(1,), now=0.0)
+        assert victim.index == 0
+
+    def test_skips_erased_segments(self):
+        segments = build_segments([10, 5])
+        segments.append(Segment(2, 32))  # erased
+        victim = GreedyPolicy().choose_victim(segments, exclude=(), now=0.0)
+        assert victim.index == 1
+
+    def test_skips_fully_live_segments(self):
+        full = Segment(0, 4)
+        for logical in range(4):
+            full.allocate(logical, 0.0)
+        assert GreedyPolicy().choose_victim([full], exclude=(), now=0.0) is None
+
+    def test_none_when_nothing_cleanable(self):
+        assert GreedyPolicy().choose_victim([], exclude=(), now=0.0) is None
+
+    def test_tie_broken_by_index(self):
+        segments = build_segments([5, 5])
+        victim = GreedyPolicy().choose_victim(segments, exclude=(), now=0.0)
+        assert victim.index == 0
+
+
+class TestCostBenefit:
+    def test_prefers_old_segment_at_equal_utilization(self):
+        segments = build_segments([10, 10], ages=[100.0, 0.0])
+        victim = CostBenefitPolicy().choose_victim(segments, exclude=(), now=200.0)
+        assert victim.index == 1  # last_write older => larger age
+
+    def test_age_can_beat_slightly_lower_utilization(self):
+        # A much older segment with slightly more live data wins.
+        segments = build_segments([12, 10], ages=[0.0, 199.0])
+        victim = CostBenefitPolicy().choose_victim(segments, exclude=(), now=200.0)
+        assert victim.index == 0
+
+    def test_utilization_dominates_at_equal_age(self):
+        segments = build_segments([20, 5], ages=[50.0, 50.0])
+        victim = CostBenefitPolicy().choose_victim(segments, exclude=(), now=100.0)
+        assert victim.index == 1
+
+
+class TestEnvyHybrid:
+    def test_zero_locality_weight_acts_greedy(self):
+        segments = build_segments([10, 3], ages=[0.0, 100.0])
+        policy = EnvyHybridPolicy(locality_weight=0.0)
+        victim = policy.choose_victim(segments, exclude=(), now=100.0)
+        assert victim.index == 1
+
+    def test_full_locality_weight_acts_by_age(self):
+        segments = build_segments([3, 10], ages=[100.0, 0.0])
+        policy = EnvyHybridPolicy(locality_weight=1.0)
+        victim = policy.choose_victim(segments, exclude=(), now=100.0)
+        assert victim.index == 1  # oldest, despite more live data
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnvyHybridPolicy(locality_weight=1.5)
+
+    def test_invalid_age_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnvyHybridPolicy(age_scale_s=0.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("greedy", GreedyPolicy),
+        ("cost-benefit", CostBenefitPolicy),
+        ("envy", EnvyHybridPolicy),
+    ])
+    def test_by_name(self, name, cls):
+        assert isinstance(cleaning_policy(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            cleaning_policy("lifo")

@@ -1,0 +1,90 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_devices_lists_registry(capsys):
+    assert main(["devices"]) == 0
+    out = capsys.readouterr().out
+    assert "cu140-datasheet" in out
+    assert "intel-datasheet" in out
+
+
+def test_experiments_lists_registry(capsys):
+    assert main(["experiments"]) == 0
+    out = capsys.readouterr().out
+    assert "table4" in out
+    assert "fig5" in out
+
+
+def test_simulate_synth(capsys):
+    code = main([
+        "simulate", "--workload", "synth", "--ops", "500",
+        "--device", "sdp5-datasheet",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "energy" in out
+    assert "sdp5-datasheet" in out
+
+
+def test_simulate_flash_card_reports_wear(capsys):
+    main([
+        "simulate", "--workload", "synth", "--ops", "500",
+        "--device", "intel-datasheet",
+    ])
+    assert "wear" in capsys.readouterr().out
+
+
+def test_simulate_no_spin_down(capsys):
+    code = main([
+        "simulate", "--workload", "mac", "--ops", "500", "--no-spin-down",
+    ])
+    assert code == 0
+
+
+def test_generate_and_analyze_roundtrip(tmp_path, capsys):
+    path = tmp_path / "t.txt"
+    assert main(["generate", "--workload", "synth", "--ops", "400",
+                 "-o", str(path)]) == 0
+    assert path.exists()
+    capsys.readouterr()
+    assert main(["analyze", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "distinct data" in out
+    assert "LRU hit rate" in out
+
+
+def test_generate_trace_is_loadable(tmp_path):
+    from repro.traces.io import load_trace
+
+    path = tmp_path / "t.txt"
+    main(["generate", "--workload", "dos", "--ops", "300", "-o", str(path)])
+    trace = load_trace(path)
+    assert len(trace) == 300
+    assert trace.block_size == 512
+
+
+def test_experiment_command(capsys):
+    assert main(["experiment", "table2", "--scale", "1.0"]) == 0
+    assert "manufacturer specifications" in capsys.readouterr().out
+
+
+def test_simulate_from_trace_file(tmp_path, capsys):
+    path = tmp_path / "t.txt"
+    main(["generate", "--workload", "synth", "--ops", "300", "-o", str(path)])
+    capsys.readouterr()
+    assert main(["simulate", "--workload", str(path), "--device",
+                 "intel-datasheet"]) == 0
+
+
+def test_missing_command_errors():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_command_errors():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

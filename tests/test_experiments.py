@@ -1,0 +1,139 @@
+"""Experiment framework and drivers (run at small scale)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import all_experiments, get_experiment, run_experiment
+from repro.experiments.base import Experiment, ExperimentResult, Table
+
+SMALL = 0.05
+
+
+class TestTableRendering:
+    def test_render_contains_headers_and_rows(self):
+        table = Table("demo", ("a", "b"), ((1, 2.5), ("x", 10_000.0)))
+        text = table.render()
+        assert "demo" in text
+        assert "a" in text and "b" in text
+        assert "2.500" in text
+        assert "10,000" in text
+
+    def test_column_accessor(self):
+        table = Table("demo", ("k", "v"), (("one", 1), ("two", 2)))
+        assert table.column("v") == [1, 2]
+
+    def test_column_missing(self):
+        table = Table("demo", ("k",), (("one",),))
+        with pytest.raises(ConfigurationError):
+            table.column("nope")
+
+    def test_lookup(self):
+        table = Table("demo", ("k", "v"), (("one", 1), ("two", 2)))
+        assert table.lookup("two", "v") == 2
+
+    def test_lookup_missing_row(self):
+        table = Table("demo", ("k", "v"), (("one", 1),))
+        with pytest.raises(ConfigurationError):
+            table.lookup("three", "v")
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        ids = set(all_experiments())
+        for required in (
+            "table1", "table2", "table3", "table4",
+            "fig1", "fig2", "fig3", "fig4", "fig5",
+            "validation", "endurance", "async-cleaning", "headline",
+        ):
+            assert required in ids
+
+    def test_seven_ablations_registered(self):
+        ablations = [i for i in all_experiments() if i.startswith("ablation-")]
+        assert len(ablations) == 7
+
+    def test_unknown_id(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("table99")
+
+    def test_scale_validated(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("table2")(scale=0.0)
+
+
+@pytest.mark.parametrize("experiment_id", sorted(all_experiments()))
+def test_every_experiment_runs_and_produces_tables(experiment_id):
+    result = run_experiment(experiment_id, scale=SMALL)
+    assert isinstance(result, ExperimentResult)
+    assert result.experiment_id == experiment_id
+    assert result.tables, "experiment produced no tables"
+    for table in result.tables:
+        assert table.rows, f"{experiment_id}: empty table {table.title!r}"
+        for row in table.rows:
+            assert len(row) == len(table.headers)
+    rendered = result.render()
+    assert experiment_id in rendered
+
+
+class TestExperimentShapes:
+    """Cheap shape checks on individual drivers at small scale."""
+
+    def test_fig1_mffs_slope_dominates(self):
+        result = run_experiment("fig1", scale=0.25)
+        slopes = dict(
+            zip(
+                result.table("growth").column("curve"),
+                result.table("growth").column("slope ms/MB"),
+            )
+        )
+        assert slopes["intel compressed"] > 5 * max(
+            abs(slopes["cu140 uncompressed"]), 1e-9
+        )
+
+    def test_fig5_sram_improves_writes(self):
+        result = run_experiment("fig5", scale=0.1, traces=("mac",))
+        table = result.tables[0]
+        normalized = table.column("wr/wr(0)")
+        assert normalized[0] == pytest.approx(1.0)
+        assert min(normalized[1:]) < 0.2  # 32 KB SRAM: large improvement
+
+    def test_async_cleaning_reduces_writes(self):
+        result = run_experiment("async-cleaning", scale=0.1, traces=("mac",))
+        table = result.tables[0]
+        sync_ms = table.column("sync wr ms")[0]
+        async_ms = table.column("async wr ms")[0]
+        assert async_ms < sync_ms / 2  # the abstract's "factor of 2.5"
+
+    def test_headline_energy_savings(self):
+        result = run_experiment("headline", scale=0.1, traces=("mac",))
+        savings = result.tables[0].column("energy saved")
+        for value in savings:
+            assert int(value.rstrip("%")) > 50
+
+    def test_table4_device_ordering(self):
+        result = run_experiment("table4", scale=0.1, traces=("mac",))
+        table = result.tables[0]
+        energy = dict(zip(table.column("device"), table.column("energy J")))
+        assert energy["intel-datasheet"] < energy["cu140-datasheet"] / 4
+        assert energy["sdp5-datasheet"] < energy["cu140-datasheet"] / 4
+        assert energy["kh-datasheet"] > energy["cu140-datasheet"]
+
+    def test_ablation_series2plus_cuts_worst_case(self):
+        result = run_experiment(
+            "ablation-series2plus", scale=0.1, traces=("hp",)
+        )
+        table = result.tables[0]
+        rows = {row[1]: row for row in table.rows}
+        old = rows["intel-datasheet"]
+        new = rows["intel-series2plus"]
+        wr_max_index = table.headers.index("wr max ms")
+        assert new[wr_max_index] <= old[wr_max_index]
+
+    def test_notes_render(self):
+        result = run_experiment("table2", scale=1.0)
+        assert "Notes:" in result.render()
+
+    def test_result_table_accessor(self):
+        result = run_experiment("table2", scale=1.0)
+        assert result.table("manufacturer").rows
+        with pytest.raises(ConfigurationError):
+            result.table("no-such-table")

@@ -1,0 +1,141 @@
+"""Flash disk emulator (SunDisk) model."""
+
+import pytest
+
+from repro.devices.flashdisk import FlashDisk
+from repro.devices.specs import SDP5A_DATASHEET, SDP5_DATASHEET, SDP10_DATASHEET
+from repro.errors import ConfigurationError
+from repro.units import KB, MB, transfer_time
+
+
+def make_sync(block=512):
+    return FlashDisk(SDP5_DATASHEET, capacity_bytes=1 * MB, block_bytes=block)
+
+
+def make_async(block=512):
+    return FlashDisk(SDP5A_DATASHEET, capacity_bytes=1 * MB, block_bytes=block)
+
+
+class TestTiming:
+    def test_read_time(self):
+        disk = make_sync()
+        completion = disk.read(0.0, 4 * KB, [0, 1, 2, 3, 4, 5, 6, 7], 1)
+        spec = SDP5_DATASHEET
+        assert completion == pytest.approx(
+            spec.access_latency_s + 4 * KB / spec.read_bandwidth_bps
+        )
+
+    def test_coupled_write_time(self):
+        disk = make_sync()
+        completion = disk.write(0.0, 4 * KB, list(range(8)), 1)
+        spec = SDP5_DATASHEET
+        assert completion == pytest.approx(
+            spec.access_latency_s + 4 * KB / spec.write_bandwidth_bps
+        )
+
+    def test_pre_erased_write_is_faster(self):
+        sync = make_sync()
+        async_disk = make_async()
+        blocks = list(range(8))
+        sync_time = sync.write(0.0, 4 * KB, blocks, 1)
+        async_time = async_disk.write(0.0, 4 * KB, blocks, 1)
+        assert async_time < sync_time / 2
+
+    def test_no_seek_concept_on_flash(self):
+        """Responses are file-identity independent (no mechanical seek)."""
+        disk = make_sync()
+        first = disk.read(0.0, KB, [0, 1], 1)
+        second = disk.read(first, KB, [100, 101], 99)
+        assert (second - first) == pytest.approx(first)
+
+
+class TestAsyncErasure:
+    def test_overwrite_queues_dirty_sectors(self):
+        disk = make_async()
+        disk.preload(8)
+        disk.write(0.0, 4 * KB, list(range(8)), 1)
+        assert disk.sector_map.dirty_sectors == 8
+
+    def test_background_erase_drains_dirty(self):
+        disk = make_async()
+        disk.preload(8)
+        completion = disk.write(0.0, 4 * KB, list(range(8)), 1)
+        disk.advance(completion + 60.0)
+        assert disk.sector_map.dirty_sectors == 0
+        assert disk.background_erasures == 8
+
+    def test_erase_takes_time_at_erase_bandwidth(self):
+        disk = make_async()
+        disk.preload(8)
+        completion = disk.write(0.0, 4 * KB, list(range(8)), 1)
+        per_sector = transfer_time(512, SDP5A_DATASHEET.erase_bandwidth_bps)
+        # Advance less than one sector's erase time: nothing recycled yet.
+        disk.advance(completion + per_sector * 0.5)
+        assert disk.background_erasures == 0
+        disk.advance(completion + per_sector * 8 + 1e-6)
+        assert disk.background_erasures == 8
+
+    def test_coupled_fallback_when_pool_exhausted(self):
+        spec = SDP5A_DATASHEET
+        disk = FlashDisk(spec, capacity_bytes=16 * KB, block_bytes=512)
+        disk.preload(32)  # the whole device is live: free pool empty
+        disk.write(0.0, 4 * KB, list(range(8)), 1)
+        assert disk.coupled_sector_writes == 8
+        assert disk.pre_erased_sector_writes == 0
+
+    def test_energy_charged_for_background_erase(self):
+        disk = make_async()
+        disk.preload(8)
+        completion = disk.write(0.0, 4 * KB, list(range(8)), 1)
+        disk.advance(completion + 60.0)
+        assert disk.energy.breakdown().get("erase", 0.0) > 0.0
+
+    def test_sync_mode_never_background_erases(self):
+        disk = make_sync()
+        disk.preload(8)
+        completion = disk.write(0.0, 4 * KB, list(range(8)), 1)
+        disk.advance(completion + 60.0)
+        assert disk.background_erasures == 0
+
+
+class TestTrim:
+    def test_delete_queues_sectors_for_erase(self):
+        disk = make_async()
+        disk.preload(8)
+        disk.delete(0.0, list(range(8)))
+        assert disk.sector_map.dirty_sectors == 8
+
+    def test_delete_unknown_blocks_is_noop(self):
+        disk = make_async()
+        disk.delete(0.0, [100, 101])
+        assert disk.sector_map.dirty_sectors == 0
+
+
+class TestConfiguration:
+    def test_block_must_be_sector_multiple(self):
+        with pytest.raises(ConfigurationError):
+            FlashDisk(SDP5_DATASHEET, block_bytes=700)
+
+    def test_1kb_blocks_map_to_two_sectors(self):
+        disk = FlashDisk(SDP5A_DATASHEET, capacity_bytes=1 * MB, block_bytes=1024)
+        disk.preload(4)
+        assert disk.sector_map.mapped_sectors == 8
+
+    def test_idle_energy(self):
+        disk = make_sync()
+        disk.advance(100.0)
+        assert disk.energy.total_j == pytest.approx(
+            100.0 * SDP5_DATASHEET.idle_power_w
+        )
+
+    def test_spec_capability_sets_default_mode(self):
+        assert not FlashDisk(SDP10_DATASHEET).async_erase
+        assert FlashDisk(SDP5A_DATASHEET).async_erase
+
+    def test_stats_exposed(self):
+        disk = make_async()
+        disk.preload(4)
+        disk.write(0.0, KB, [0, 1], 1)
+        stats = disk.stats()
+        assert stats["pre_erased_sector_writes"] == 2
+        assert "dirty_sectors" in stats

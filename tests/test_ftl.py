@@ -1,0 +1,112 @@
+"""Sector-remapping FTL for the flash disk."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.flash.ftl import SectorMap
+
+
+def test_initial_pools():
+    sectors = SectorMap(10)
+    assert sectors.free_sectors == 10
+    assert sectors.dirty_sectors == 0
+    assert sectors.mapped_sectors == 0
+
+
+def test_fresh_write_is_pre_erased():
+    sectors = SectorMap(4)
+    assert sectors.write(0) is True
+    assert sectors.mapped_sectors == 1
+    assert sectors.free_sectors == 3
+
+
+def test_overwrite_dirties_old_sector():
+    sectors = SectorMap(4)
+    sectors.write(0)
+    old = sectors.physical_for(0)
+    assert sectors.write(0) is True
+    assert sectors.dirty_sectors == 1
+    assert sectors.physical_for(0) != old
+
+
+def test_coupled_fallback_reuses_in_place():
+    sectors = SectorMap(2)
+    sectors.write(0)
+    sectors.write(1)  # pool now empty
+    physical = sectors.physical_for(0)
+    assert sectors.write(0) is False  # coupled erase+write
+    assert sectors.physical_for(0) == physical
+    assert sectors.dirty_sectors == 0
+
+
+def test_coupled_fallback_consumes_dirty_for_new_logical():
+    sectors = SectorMap(2)
+    sectors.write(0)
+    sectors.write(0)  # old version dirty, pool empty
+    assert sectors.free_sectors == 0
+    assert sectors.dirty_sectors == 1
+    assert sectors.write(5) is False  # new logical, takes the dirty sector
+    assert sectors.dirty_sectors == 0
+
+
+def test_out_of_sectors_raises():
+    sectors = SectorMap(1)
+    sectors.write(0)
+    with pytest.raises(DeviceError):
+        sectors.write(1)
+
+
+def test_trim_releases_to_dirty():
+    sectors = SectorMap(4)
+    sectors.write(0)
+    assert sectors.trim(0) is True
+    assert sectors.mapped_sectors == 0
+    assert sectors.dirty_sectors == 1
+
+
+def test_trim_unknown_is_false():
+    sectors = SectorMap(4)
+    assert sectors.trim(9) is False
+
+
+def test_erase_one_recycles():
+    sectors = SectorMap(4)
+    sectors.write(0)
+    sectors.trim(0)
+    assert sectors.erase_one() is True
+    assert sectors.free_sectors == 4
+
+
+def test_erase_one_empty_queue():
+    sectors = SectorMap(4)
+    assert sectors.erase_one() is False
+
+
+def test_preload_maps_range():
+    sectors = SectorMap(8)
+    sectors.preload(5)
+    assert sectors.mapped_sectors == 5
+    assert sectors.free_sectors == 3
+
+
+def test_preload_too_big_raises():
+    sectors = SectorMap(4)
+    with pytest.raises(DeviceError):
+        sectors.preload(5)
+
+
+def test_invariant_through_mixed_operations():
+    sectors = SectorMap(16)
+    sectors.preload(8)
+    for logical in range(12):
+        sectors.write(logical % 10)
+        sectors.check_invariant()
+    sectors.trim(3)
+    sectors.check_invariant()
+    while sectors.erase_one():
+        sectors.check_invariant()
+
+
+def test_zero_sectors_rejected():
+    with pytest.raises(DeviceError):
+        SectorMap(0)

@@ -1,0 +1,136 @@
+"""Wear-leveling policies and the imbalance metric."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.flash.cleaner import GreedyPolicy, cleaning_policy
+from repro.flash.leveling import ColdSwapLeveler, WearAwarePolicy, wear_imbalance
+from repro.flash.segment import Segment
+
+
+def segment_with(index, live, dead, capacity=8, erases=0):
+    segment = Segment(index, capacity)
+    logical = index * 100
+    for _ in range(live):
+        segment.allocate(logical, 0.0)
+        logical += 1
+    for _ in range(dead):
+        segment.allocate(logical, 0.0)
+        segment.invalidate(logical)
+        logical += 1
+    segment.erase_count = erases
+    return segment
+
+
+class TestWearAwarePolicy:
+    def test_ties_broken_toward_fewer_erases(self):
+        segments = [
+            segment_with(0, live=2, dead=6, erases=10),
+            segment_with(1, live=2, dead=6, erases=1),
+        ]
+        victim = WearAwarePolicy().choose_victim(segments, (), 0.0)
+        assert victim.index == 1
+
+    def test_tolerance_band_respected(self):
+        # Base greedy picks live=1; the live=3 segment with fewer erases is
+        # within a 4-block band and wins; live=7 is not.
+        segments = [
+            segment_with(0, live=1, dead=7, erases=9),
+            segment_with(1, live=3, dead=5, erases=0),
+            segment_with(2, live=7, dead=1, erases=0),
+        ]
+        victim = WearAwarePolicy(tolerance_blocks=4).choose_victim(segments, (), 0.0)
+        assert victim.index == 1
+
+    def test_zero_tolerance_matches_base(self):
+        segments = [
+            segment_with(0, live=1, dead=7, erases=9),
+            segment_with(1, live=3, dead=5, erases=0),
+        ]
+        strict = WearAwarePolicy(tolerance_blocks=0)
+        base = GreedyPolicy()
+        assert (
+            strict.choose_victim(segments, (), 0.0).index
+            == base.choose_victim(segments, (), 0.0).index
+        )
+
+    def test_none_when_nothing_cleanable(self):
+        assert WearAwarePolicy().choose_victim([], (), 0.0) is None
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WearAwarePolicy(tolerance_blocks=-1)
+
+
+class TestColdSwapLeveler:
+    def test_defers_to_base_when_balanced(self):
+        segments = [
+            segment_with(0, live=1, dead=7, erases=2),
+            segment_with(1, live=6, dead=2, erases=3),
+        ]
+        leveler = ColdSwapLeveler(gap_threshold=8)
+        victim = leveler.choose_victim(segments, (), 0.0)
+        assert victim.index == 0  # greedy choice
+        assert leveler.forced_swaps == 0
+
+    def test_forces_cold_victim_when_gap_exceeds_threshold(self):
+        segments = [
+            segment_with(0, live=1, dead=7, erases=30),
+            segment_with(1, live=6, dead=2, erases=0),  # cold, barely erased
+        ]
+        leveler = ColdSwapLeveler(gap_threshold=8)
+        victim = leveler.choose_victim(segments, (), 0.0)
+        assert victim.index == 1
+        assert leveler.forced_swaps == 1
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ConfigurationError):
+            ColdSwapLeveler(gap_threshold=0)
+
+
+class TestImbalanceMetric:
+    def test_perfectly_level(self):
+        segments = [segment_with(i, 0, 0, erases=5) for i in range(4)]
+        assert wear_imbalance(segments) == 0.0
+
+    def test_skewed(self):
+        segments = [
+            segment_with(0, 0, 0, erases=0),
+            segment_with(1, 0, 0, erases=10),
+        ]
+        assert wear_imbalance(segments) == pytest.approx(10 / 6)
+
+    def test_empty(self):
+        assert wear_imbalance([]) == 0.0
+
+
+class TestIntegration:
+    def test_policies_available_by_name(self):
+        assert isinstance(cleaning_policy("wear-aware"), WearAwarePolicy)
+        assert isinstance(cleaning_policy("cold-swap"), ColdSwapLeveler)
+
+    def test_cold_swap_levels_wear_on_the_card(self):
+        """End-to-end: leveling narrows the erase-count spread."""
+        from repro.core.config import SimulationConfig
+        from repro.core.simulator import simulate
+        from repro.traces.synthetic import SyntheticWorkload
+
+        trace = SyntheticWorkload().generate(n_ops=4000, seed=3)
+        results = {}
+        for policy in ("greedy", "cold-swap"):
+            config = SimulationConfig(
+                device="intel-datasheet",
+                flash_utilization=0.9,
+                cleaning_policy=policy,
+                segment_bytes=32 * 1024,
+            )
+            results[policy] = simulate(trace, config)
+        greedy_spread = (
+            results["greedy"].wear.max_erasures
+            - results["greedy"].wear.mean_erasures
+        )
+        level_spread = (
+            results["cold-swap"].wear.max_erasures
+            - results["cold-swap"].wear.mean_erasures
+        )
+        assert level_spread <= greedy_spread

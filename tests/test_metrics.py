@@ -1,0 +1,81 @@
+"""Response-time accumulators."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.metrics import ResponseAccumulator, ResponseStats
+
+
+def test_empty_accumulator():
+    acc = ResponseAccumulator()
+    assert acc.count == 0
+    assert acc.mean == 0.0
+    assert acc.std == 0.0
+    assert acc.max == 0.0
+
+
+def test_single_value():
+    acc = ResponseAccumulator()
+    acc.add(0.5)
+    assert acc.mean == pytest.approx(0.5)
+    assert acc.max == 0.5
+    assert acc.std == 0.0
+
+
+def test_mean_max_total():
+    acc = ResponseAccumulator()
+    for value in (1.0, 2.0, 3.0):
+        acc.add(value)
+    assert acc.mean == pytest.approx(2.0)
+    assert acc.max == 3.0
+    assert acc.total == pytest.approx(6.0)
+
+
+def test_std_matches_direct_formula():
+    values = [random.Random(1).uniform(0, 10) for _ in range(100)]
+    acc = ResponseAccumulator()
+    for value in values:
+        acc.add(value)
+    mean = sum(values) / len(values)
+    expected = math.sqrt(sum((v - mean) ** 2 for v in values) / len(values))
+    assert acc.std == pytest.approx(expected)
+
+
+def test_welford_is_numerically_stable():
+    acc = ResponseAccumulator()
+    offset = 1e9
+    for value in (offset + 1, offset + 2, offset + 3):
+        acc.add(value)
+    assert acc.std == pytest.approx(math.sqrt(2 / 3), rel=1e-6)
+
+
+def test_reset():
+    acc = ResponseAccumulator()
+    acc.add(1.0)
+    acc.reset()
+    assert acc.count == 0
+    assert acc.mean == 0.0
+
+
+def test_snapshot_freezes():
+    acc = ResponseAccumulator()
+    acc.add(0.002)
+    snapshot = acc.snapshot()
+    acc.add(100.0)
+    assert snapshot.count == 1
+    assert snapshot.mean_s == pytest.approx(0.002)
+
+
+def test_stats_millisecond_properties():
+    stats = ResponseStats(count=2, mean_s=0.0257, max_s=3.5, std_s=0.01)
+    assert stats.mean_ms == pytest.approx(25.7)
+    assert stats.max_ms == pytest.approx(3500.0)
+    assert stats.std_ms == pytest.approx(10.0)
+
+
+def test_empty_stats():
+    stats = ResponseStats.empty()
+    assert stats.count == 0
+    assert stats.mean_ms == 0.0

@@ -1,0 +1,80 @@
+"""Percentile estimation in the response accumulator."""
+
+import pytest
+
+from repro.core.metrics import ResponseAccumulator
+
+
+def test_exact_percentiles_small_sample():
+    acc = ResponseAccumulator()
+    for value in range(100):
+        acc.add(float(value))
+    assert acc.percentile(0.0) == 0.0
+    assert acc.percentile(0.5) == 50.0
+    assert acc.percentile(0.95) == 95.0
+    assert acc.percentile(1.0) == 99.0
+
+
+def test_percentile_empty():
+    assert ResponseAccumulator().percentile(0.5) == 0.0
+
+
+def test_percentile_invalid_quantile():
+    acc = ResponseAccumulator()
+    acc.add(1.0)
+    with pytest.raises(ValueError):
+        acc.percentile(1.5)
+
+
+def test_snapshot_carries_percentiles():
+    acc = ResponseAccumulator()
+    for value in (1.0, 2.0, 3.0, 4.0):
+        acc.add(value)
+    stats = acc.snapshot()
+    assert stats.p50_s == 3.0
+    assert stats.p95_s == 4.0
+    assert stats.p95_ms == pytest.approx(4000.0)
+
+
+def test_reservoir_estimates_large_stream():
+    acc = ResponseAccumulator()
+    for value in range(100_000):
+        acc.add(float(value))
+    # Uniform stream: p95 of the reservoir should sit near 95k.
+    estimate = acc.percentile(0.95)
+    assert 85_000 <= estimate <= 100_000
+
+
+def test_reservoir_is_deterministic():
+    def build():
+        acc = ResponseAccumulator()
+        for value in range(50_000):
+            acc.add(float(value % 997))
+        return acc.percentile(0.9)
+
+    assert build() == build()
+
+
+def test_reset_clears_reservoir():
+    acc = ResponseAccumulator()
+    for value in range(100):
+        acc.add(float(value))
+    acc.reset()
+    assert acc.percentile(0.5) == 0.0
+
+
+def test_percentiles_bounded_by_extremes():
+    acc = ResponseAccumulator()
+    for value in (5.0, 1.0, 9.0, 3.0):
+        acc.add(value)
+    assert 1.0 <= acc.percentile(0.25) <= 9.0
+    assert acc.percentile(0.99) <= acc.max
+
+
+def test_simulation_results_expose_percentiles(small_synth_trace):
+    from repro.core.config import SimulationConfig
+    from repro.core.simulator import simulate
+
+    result = simulate(small_synth_trace, SimulationConfig(device="sdp5-datasheet"))
+    stats = result.write_response
+    assert 0.0 < stats.p50_s <= stats.p95_s <= stats.p99_s <= stats.max_s

@@ -1,0 +1,73 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.plotting import ascii_chart, chart_from_rows, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series_is_flat(self):
+        line = sparkline([5.0, 5.0, 5.0])
+        assert len(set(line)) == 1
+
+    def test_monotone_series_monotone_levels(self):
+        from repro.experiments.plotting import _SPARK_LEVELS
+
+        line = sparkline([0, 1, 2, 3, 4, 5])
+        levels = [_SPARK_LEVELS.index(glyph) for glyph in line]
+        assert levels == sorted(levels)
+
+    def test_resampled_to_width(self):
+        line = sparkline(list(range(1000)), width=40)
+        assert len(line) == 40
+
+    def test_extremes_map_to_extreme_glyphs(self):
+        line = sparkline([0.0, 10.0])
+        assert line[0] == " "
+        assert line[-1] == "@"
+
+
+class TestAsciiChart:
+    def test_contains_title_axes_and_legend(self):
+        chart = ascii_chart(
+            {"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]},
+            title="demo chart", x_label="x", y_label="y",
+        )
+        assert "demo chart" in chart
+        assert "o=a" in chart
+        assert "x=b" in chart
+        assert "|" in chart and "+" in chart
+
+    def test_markers_placed_at_extremes(self):
+        chart = ascii_chart({"a": [(0, 0), (10, 10)]}, width=20, height=10)
+        lines = [l for l in chart.splitlines() if "|" in l]
+        assert "o" in lines[0]  # max y on the top row
+        assert "o" in lines[-1]  # min y on the bottom row
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({})
+
+    def test_no_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"a": []})
+
+    def test_tiny_canvas_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ascii_chart({"a": [(0, 0)]}, width=2, height=2)
+
+    def test_degenerate_single_point(self):
+        chart = ascii_chart({"a": [(1.0, 2.0)]})
+        assert "o" in chart
+
+
+class TestChartFromRows:
+    def test_groups_rows_by_label(self):
+        rows = [("s1", 0, 1.0), ("s1", 1, 2.0), ("s2", 0, 3.0)]
+        chart = chart_from_rows(rows, 0, 1, 2, title="t")
+        assert "o=s1" in chart
+        assert "x=s2" in chart

@@ -1,0 +1,68 @@
+"""Energy meter accounting."""
+
+import pytest
+
+from repro.devices.power import EnergyMeter
+from repro.errors import SimulationError
+
+
+def test_charge_accumulates():
+    meter = EnergyMeter("dev")
+    meter.charge("idle", 0.7, 10.0)
+    meter.charge("idle", 0.7, 5.0)
+    assert meter.total_j == pytest.approx(0.7 * 15.0)
+
+
+def test_buckets_are_separate():
+    meter = EnergyMeter("dev")
+    meter.charge("read", 1.75, 2.0)
+    meter.charge("idle", 0.7, 1.0)
+    breakdown = meter.breakdown()
+    assert breakdown["read"] == pytest.approx(3.5)
+    assert breakdown["idle"] == pytest.approx(0.7)
+
+
+def test_zero_duration_is_free():
+    meter = EnergyMeter("dev")
+    meter.charge("idle", 0.7, 0.0)
+    assert meter.total_j == 0.0
+    assert meter.breakdown() == {}
+
+
+def test_zero_power_is_free():
+    meter = EnergyMeter("dev")
+    meter.charge("idle", 0.0, 100.0)
+    assert meter.total_j == 0.0
+
+
+def test_negative_duration_raises():
+    meter = EnergyMeter("dev")
+    with pytest.raises(SimulationError):
+        meter.charge("idle", 0.7, -1.0)
+
+
+def test_tiny_negative_tolerated():
+    meter = EnergyMeter("dev")
+    meter.charge("idle", 0.7, -1e-15)  # floating-point fuzz
+    assert meter.total_j == 0.0
+
+
+def test_charge_energy_direct():
+    meter = EnergyMeter("dev")
+    meter.charge_energy("erase", 0.75)
+    assert meter.breakdown()["erase"] == pytest.approx(0.75)
+
+
+def test_reset_clears():
+    meter = EnergyMeter("dev")
+    meter.charge("idle", 1.0, 1.0)
+    meter.reset()
+    assert meter.total_j == 0.0
+
+
+def test_breakdown_is_a_copy():
+    meter = EnergyMeter("dev")
+    meter.charge("idle", 1.0, 1.0)
+    breakdown = meter.breakdown()
+    breakdown["idle"] = 999.0
+    assert meter.total_j == pytest.approx(1.0)

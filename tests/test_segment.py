@@ -1,0 +1,103 @@
+"""Flash segment state machine."""
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.flash.segment import Segment
+
+
+def test_initial_state_is_erased():
+    segment = Segment(0, 32)
+    assert segment.is_erased
+    assert segment.free_blocks == 32
+    assert segment.live_blocks == 0
+    assert segment.dead_blocks == 0
+
+
+def test_allocate_moves_free_to_live():
+    segment = Segment(0, 4)
+    segment.allocate(7, now=1.0)
+    assert segment.free_blocks == 3
+    assert segment.live_blocks == 1
+    assert 7 in segment.live
+    assert segment.last_write_time == 1.0
+
+
+def test_allocate_when_full_raises():
+    segment = Segment(0, 1)
+    segment.allocate(1, 0.0)
+    with pytest.raises(DeviceError):
+        segment.allocate(2, 0.0)
+
+
+def test_double_allocate_same_logical_raises():
+    segment = Segment(0, 4)
+    segment.allocate(1, 0.0)
+    with pytest.raises(DeviceError):
+        segment.allocate(1, 0.0)
+
+
+def test_invalidate_moves_live_to_dead():
+    segment = Segment(0, 4)
+    segment.allocate(1, 0.0)
+    segment.invalidate(1)
+    assert segment.dead_blocks == 1
+    assert segment.live_blocks == 0
+
+
+def test_invalidate_unknown_raises():
+    segment = Segment(0, 4)
+    with pytest.raises(DeviceError):
+        segment.invalidate(9)
+
+
+def test_erase_requires_no_live_data():
+    segment = Segment(0, 4)
+    segment.allocate(1, 0.0)
+    with pytest.raises(DeviceError):
+        segment.erase()
+
+
+def test_erase_resets_and_counts():
+    segment = Segment(0, 4)
+    segment.allocate(1, 0.0)
+    segment.invalidate(1)
+    segment.erase()
+    assert segment.is_erased
+    assert segment.erase_count == 1
+    segment.allocate(2, 0.0)
+    segment.invalidate(2)
+    segment.erase()
+    assert segment.erase_count == 2
+
+
+def test_utilization():
+    segment = Segment(0, 4)
+    segment.allocate(1, 0.0)
+    segment.allocate(2, 0.0)
+    assert segment.utilization == pytest.approx(0.5)
+
+
+def test_is_full():
+    segment = Segment(0, 2)
+    segment.allocate(1, 0.0)
+    assert not segment.is_full
+    segment.allocate(2, 0.0)
+    assert segment.is_full
+
+
+def test_invariant_holds_through_lifecycle():
+    segment = Segment(0, 8)
+    for logical in range(8):
+        segment.allocate(logical, 0.0)
+        segment.check_invariant()
+    for logical in range(8):
+        segment.invalidate(logical)
+        segment.check_invariant()
+    segment.erase()
+    segment.check_invariant()
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(DeviceError):
+        Segment(0, 0)

@@ -1,0 +1,58 @@
+"""Spin-down policies."""
+
+import pytest
+
+from repro.devices.spindown import (
+    AdaptiveTimeoutPolicy,
+    FixedTimeoutPolicy,
+    NeverSpinDownPolicy,
+)
+from repro.errors import ConfigurationError
+
+
+def test_fixed_timeout_deadline():
+    policy = FixedTimeoutPolicy(5.0)
+    assert policy.spin_down_at(idle_since=10.0) == 15.0
+
+
+def test_fixed_timeout_zero_allowed():
+    policy = FixedTimeoutPolicy(0.0)
+    assert policy.spin_down_at(3.0) == 3.0
+
+
+def test_fixed_timeout_negative_rejected():
+    with pytest.raises(ConfigurationError):
+        FixedTimeoutPolicy(-1.0)
+
+
+def test_never_policy():
+    assert NeverSpinDownPolicy().spin_down_at(0.0) is None
+
+
+def test_adaptive_grows_after_premature_spin_down():
+    policy = AdaptiveTimeoutPolicy(initial_s=5.0)
+    before = policy.threshold_s
+    policy.note_spin_up(at=10.0, idle_duration=6.0)  # woke soon after
+    assert policy.threshold_s > before
+
+
+def test_adaptive_shrinks_after_long_sleep():
+    policy = AdaptiveTimeoutPolicy(initial_s=5.0)
+    before = policy.threshold_s
+    policy.note_spin_up(at=1000.0, idle_duration=500.0)
+    assert policy.threshold_s < before
+
+
+def test_adaptive_respects_bounds():
+    policy = AdaptiveTimeoutPolicy(initial_s=5.0, minimum_s=1.0, maximum_s=30.0)
+    for _ in range(50):
+        policy.note_spin_up(0.0, 1.0)
+    assert policy.threshold_s <= 30.0
+    for _ in range(50):
+        policy.note_spin_up(0.0, 10_000.0)
+    assert policy.threshold_s >= 1.0
+
+
+def test_adaptive_invalid_bounds():
+    with pytest.raises(ConfigurationError):
+        AdaptiveTimeoutPolicy(initial_s=50.0, minimum_s=1.0, maximum_s=30.0)

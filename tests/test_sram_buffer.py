@@ -1,0 +1,99 @@
+"""Battery-backed SRAM write buffer."""
+
+import pytest
+
+from repro.cache.sram_buffer import SramWriteBuffer
+from repro.devices.specs import NEC_SRAM
+from repro.errors import ConfigurationError
+from repro.units import KB
+
+
+def make_buffer(capacity_kb=32, block=1024):
+    return SramWriteBuffer(capacity_kb * KB, block, NEC_SRAM)
+
+
+def test_capacity_blocks():
+    assert make_buffer(32).capacity_blocks == 32
+
+
+def test_zero_size_disabled():
+    buffer = SramWriteBuffer(0, KB, NEC_SRAM)
+    assert not buffer.enabled
+
+
+def test_add_and_contains():
+    buffer = make_buffer()
+    buffer.add([1, 2])
+    assert buffer.contains(1)
+    assert not buffer.contains(3)
+    assert buffer.dirty_count == 2
+
+
+def test_fits_counts_only_new_blocks():
+    buffer = make_buffer(capacity_kb=4)
+    buffer.add([1, 2, 3, 4])
+    assert buffer.free_blocks == 0
+    assert buffer.fits([1, 2])  # rewrites of buffered blocks always fit
+    assert not buffer.fits([5])
+
+
+def test_can_ever_fit():
+    buffer = make_buffer(capacity_kb=4)
+    assert buffer.can_ever_fit([1, 2, 3, 4])
+    assert not buffer.can_ever_fit([1, 2, 3, 4, 5])
+    assert buffer.can_ever_fit([1, 1, 1, 1, 1])  # duplicates collapse
+
+
+def test_drain_returns_and_clears():
+    buffer = make_buffer()
+    buffer.add([3, 1, 2])
+    drained = buffer.drain()
+    assert set(drained) == {1, 2, 3}
+    assert buffer.dirty_count == 0
+
+
+def test_invalidate_drops_blocks():
+    buffer = make_buffer()
+    buffer.add([1, 2])
+    buffer.invalidate([1])
+    assert not buffer.contains(1)
+    assert buffer.contains(2)
+
+
+def test_absorbed_writes_counter():
+    buffer = make_buffer()
+    buffer.add([1])
+    buffer.add([2])
+    assert buffer.absorbed_writes == 2
+
+
+def test_standby_energy():
+    buffer = make_buffer(capacity_kb=32)
+    buffer.advance(1000.0)
+    expected = NEC_SRAM.standby_power_w_per_byte * 32 * KB * 1000.0
+    assert buffer.energy.total_j == pytest.approx(expected)
+
+
+def test_access_time_and_active_energy():
+    buffer = make_buffer()
+    duration = buffer.access_time(2048)
+    assert duration == pytest.approx(
+        NEC_SRAM.access_latency_s + 2048 / NEC_SRAM.bandwidth_bps
+    )
+    assert buffer.energy.breakdown()["active"] > 0
+
+
+def test_reset_accounting():
+    buffer = make_buffer()
+    buffer.add([1])
+    buffer.advance(10.0)
+    buffer.reset_accounting()
+    assert buffer.energy.total_j == 0.0
+    assert buffer.absorbed_writes == 0
+    # Contents survive the accounting reset (it's the warm boundary).
+    assert buffer.contains(1)
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ConfigurationError):
+        SramWriteBuffer(-1, KB, NEC_SRAM)

@@ -1,0 +1,101 @@
+"""The paper's synth workload generator (section 4.1)."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.record import Operation
+from repro.traces.synthetic import SyntheticWorkload
+from repro.units import KB
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return SyntheticWorkload().generate(n_ops=6000, seed=1)
+
+
+def test_dataset_geometry():
+    workload = SyntheticWorkload()
+    assert workload.n_files == 192  # 6 MB of 32 KB files
+
+
+def test_operation_mix(trace):
+    counts = trace.operation_counts()
+    total = len(trace)
+    assert counts[Operation.READ] / total == pytest.approx(0.60, abs=0.03)
+    assert counts[Operation.WRITE] / total == pytest.approx(0.35, abs=0.03)
+    assert counts[Operation.DELETE] / total == pytest.approx(0.05, abs=0.02)
+
+
+def test_sizes_within_file_bounds(trace):
+    for record in trace:
+        if record.op is not Operation.DELETE:
+            assert 0 < record.size <= 32 * KB
+            assert record.end_offset <= 32 * KB
+
+
+def test_small_size_bucket_fraction(trace):
+    sizes = [r.size for r in trace if r.op is not Operation.DELETE]
+    small = sum(1 for s in sizes if s == 512)
+    # 40% of accesses are 0.5 KB (erase-recreate writes dilute slightly).
+    assert small / len(sizes) == pytest.approx(0.40, abs=0.06)
+
+
+def test_large_size_bucket_fraction(trace):
+    sizes = [r.size for r in trace if r.op is not Operation.DELETE]
+    large = sum(1 for s in sizes if s > 16 * KB)
+    assert large / len(sizes) == pytest.approx(0.20, abs=0.06)
+
+
+def test_hot_cold_skew(trace):
+    workload = SyntheticWorkload()
+    n_hot = round(workload.n_files * workload.hot_data_fraction)
+    hot_accesses = sum(1 for r in trace if r.file_id < n_hot)
+    assert hot_accesses / len(trace) == pytest.approx(7 / 8, abs=0.05)
+
+
+def test_interarrival_bimodal(trace):
+    gaps = [trace[i + 1].time - trace[i].time for i in range(len(trace) - 1)]
+    mean = sum(gaps) / len(gaps)
+    # 90% at ~10 ms + 10% at ~3 s => mean ~ 0.31 s.
+    assert 0.15 < mean < 0.6
+    assert max(gaps) > 1.0  # tail draws present
+
+
+def test_write_after_erase_recreates_whole_file(trace):
+    erased = set()
+    seen = False
+    for record in trace:
+        if record.op is Operation.DELETE:
+            erased.add(record.file_id)
+        elif record.op is Operation.WRITE and record.file_id in erased:
+            assert record.offset == 0
+            assert record.size == 32 * KB
+            erased.discard(record.file_id)
+            seen = True
+        elif record.op is Operation.READ:
+            assert record.file_id not in erased
+    assert seen, "no erase-then-write sequence exercised"
+
+
+def test_determinism():
+    a = SyntheticWorkload().generate(n_ops=500, seed=9)
+    b = SyntheticWorkload().generate(n_ops=500, seed=9)
+    assert [(r.time, r.op, r.file_id, r.offset, r.size) for r in a] == [
+        (r.time, r.op, r.file_id, r.offset, r.size) for r in b
+    ]
+
+
+def test_different_seeds_differ():
+    a = SyntheticWorkload().generate(n_ops=500, seed=1)
+    b = SyntheticWorkload().generate(n_ops=500, seed=2)
+    assert [r.file_id for r in a] != [r.file_id for r in b]
+
+
+def test_invalid_fractions_rejected():
+    with pytest.raises(TraceError):
+        SyntheticWorkload(read_fraction=0.8, write_fraction=0.3)
+
+
+def test_misaligned_total_rejected():
+    with pytest.raises(TraceError):
+        SyntheticWorkload(total_bytes=100 * KB, file_bytes=32 * KB)

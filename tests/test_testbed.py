@@ -1,0 +1,158 @@
+"""OmniBook testbed: Table 1 / Figure 1 / Figure 3 behaviours."""
+
+import pytest
+
+from repro.fs.compression import DataKind
+from repro.testbed.omnibook import OmniBook, StorageSetup
+from repro.units import KB, MB
+
+#: Table 1 targets in KB/s, keyed by (setup, op, file size, data kind).
+PAPER_CELLS = {
+    (StorageSetup.CU140, "read", 4 * KB, DataKind.RANDOM): 116,
+    (StorageSetup.CU140, "read", 1 * MB, DataKind.RANDOM): 543,
+    (StorageSetup.CU140, "write", 4 * KB, DataKind.RANDOM): 76,
+    (StorageSetup.CU140, "write", 1 * MB, DataKind.RANDOM): 231,
+    (StorageSetup.CU140_COMPRESSED, "write", 4 * KB, DataKind.TEXT): 289,
+    (StorageSetup.CU140_COMPRESSED, "write", 1 * MB, DataKind.TEXT): 146,
+    (StorageSetup.SDP10, "read", 4 * KB, DataKind.RANDOM): 280,
+    (StorageSetup.SDP10, "write", 4 * KB, DataKind.RANDOM): 39,
+    (StorageSetup.SDP10, "write", 1 * MB, DataKind.RANDOM): 40,
+    (StorageSetup.SDP10_COMPRESSED, "write", 4 * KB, DataKind.TEXT): 225,
+    (StorageSetup.INTEL_MFFS, "read", 4 * KB, DataKind.RANDOM): 645,
+    (StorageSetup.INTEL_MFFS, "read", 1 * MB, DataKind.RANDOM): 37,
+    (StorageSetup.INTEL_MFFS, "write", 4 * KB, DataKind.RANDOM): 43,
+    (StorageSetup.INTEL_MFFS, "write", 1 * MB, DataKind.RANDOM): 21,
+    (StorageSetup.INTEL_MFFS, "write", 4 * KB, DataKind.TEXT): 83,
+}
+
+
+@pytest.mark.parametrize("key,target", sorted(PAPER_CELLS.items(), key=str))
+def test_table1_cell_within_2x(key, target):
+    setup, operation, file_bytes, kind = key
+    result = OmniBook().run(setup, operation, file_bytes, data_kind=kind)
+    assert 0.4 <= result.throughput_kbps / target <= 2.5, (
+        f"{key}: {result.throughput_kbps:.1f} KB/s vs paper {target}"
+    )
+
+
+class TestTable1Orderings:
+    """The qualitative observations the paper draws from Table 1."""
+
+    def test_disk_best_write_throughput(self):
+        disk = OmniBook().run(StorageSetup.CU140, "write", 1 * MB)
+        flash_disk = OmniBook().run(StorageSetup.SDP10, "write", 1 * MB)
+        card = OmniBook().run(StorageSetup.INTEL_MFFS, "write", 1 * MB)
+        assert disk.throughput_kbps > flash_disk.throughput_kbps
+        assert disk.throughput_kbps > card.throughput_kbps
+
+    def test_card_best_small_reads(self):
+        card = OmniBook().run(StorageSetup.INTEL_MFFS, "read", 4 * KB)
+        flash_disk = OmniBook().run(StorageSetup.SDP10, "read", 4 * KB)
+        disk = OmniBook().run(StorageSetup.CU140, "read", 4 * KB)
+        assert card.throughput_kbps > flash_disk.throughput_kbps
+        assert card.throughput_kbps > disk.throughput_kbps
+
+    def test_card_worse_than_flash_disk_for_large_files(self):
+        card = OmniBook().run(StorageSetup.INTEL_MFFS, "read", 1 * MB)
+        flash_disk = OmniBook().run(StorageSetup.SDP10, "read", 1 * MB)
+        assert card.throughput_kbps < flash_disk.throughput_kbps
+
+    def test_incompressible_small_reads_faster_on_card(self):
+        # "reads of uncompressible data obtaining about twice the bandwidth
+        # of reads of compressible data".
+        random_read = OmniBook().run(
+            StorageSetup.INTEL_MFFS, "read", 4 * KB, data_kind=DataKind.RANDOM
+        )
+        text_read = OmniBook().run(
+            StorageSetup.INTEL_MFFS, "read", 4 * KB, data_kind=DataKind.TEXT
+        )
+        assert random_read.throughput_kbps > 1.3 * text_read.throughput_kbps
+
+    def test_stacker_small_writes_beat_theoretical_limit(self):
+        # Write-behind cache: measured > the SDP10's 50 KB/s media rate.
+        result = OmniBook().run(
+            StorageSetup.SDP10_COMPRESSED, "write", 4 * KB, data_kind=DataKind.TEXT
+        )
+        assert result.throughput_kbps > 50
+
+
+class TestFigure1:
+    def test_mffs_latency_grows_linearly(self):
+        series = OmniBook().write_latency_series(
+            StorageSetup.INTEL_MFFS, data_kind=DataKind.TEXT
+        )
+        latencies = [latency for _, latency, _ in series]
+        assert latencies[-1] > 3 * latencies[0]
+        # Roughly linear: the middle sits near the endpoint average.
+        middle = latencies[len(latencies) // 2]
+        assert middle == pytest.approx(
+            (latencies[0] + latencies[-1]) / 2, rel=0.25
+        )
+
+    def test_disk_latency_flat(self):
+        series = OmniBook().write_latency_series(
+            StorageSetup.CU140, data_kind=DataKind.RANDOM
+        )
+        latencies = [latency for _, latency, _ in series]
+        assert max(latencies) < 1.5 * min(latencies)
+
+    def test_series_covers_the_file(self):
+        series = OmniBook().write_latency_series(StorageSetup.INTEL_MFFS)
+        assert series[-1][0] == pytest.approx(1024.0)  # cumulative KB
+
+
+class TestFigure3:
+    def test_throughput_declines_with_cumulative_writes(self):
+        series = OmniBook(seed=5).overwrite_throughput_series(
+            1 * MB, n_megabytes=8
+        )
+        assert series[-1][1] < series[0][1]
+
+    def test_higher_live_data_is_strictly_worse(self):
+        low = OmniBook(seed=5).overwrite_throughput_series(1 * MB, n_megabytes=6)
+        high = OmniBook(seed=5).overwrite_throughput_series(
+            int(9.5 * MB), n_megabytes=6
+        )
+        low_mean = sum(t for _, t in low) / len(low)
+        high_mean = sum(t for _, t in high) / len(high)
+        assert high_mean < low_mean
+
+
+class TestRandomAccess:
+    """Section 3: random accesses 'measure the overhead of seeks'."""
+
+    def test_random_reads_slower_on_disk(self):
+        sequential = OmniBook().run(
+            StorageSetup.CU140, "read", 256 * KB, access="sequential"
+        )
+        random_access = OmniBook().run(
+            StorageSetup.CU140, "read", 256 * KB, access="random"
+        )
+        assert random_access.throughput_kbps < sequential.throughput_kbps / 2
+
+    def test_random_reads_barely_hurt_flash(self):
+        sequential = OmniBook().run(
+            StorageSetup.SDP10, "read", 256 * KB, access="sequential"
+        )
+        random_access = OmniBook().run(
+            StorageSetup.SDP10, "read", 256 * KB, access="random"
+        )
+        # No mechanical seek: the gap stays small.
+        assert random_access.throughput_kbps > sequential.throughput_kbps / 2
+
+    def test_invalid_access_mode(self):
+        import pytest as _pytest
+
+        from repro.errors import ConfigurationError
+
+        with _pytest.raises(ConfigurationError):
+            OmniBook().run(StorageSetup.CU140, "read", 4 * KB, access="zigzag")
+
+
+class TestTraceReplay:
+    def test_run_trace_returns_means(self, small_synth_trace):
+        stats = OmniBook().run_trace(StorageSetup.SDP10, small_synth_trace)
+        assert stats["reads"] > 0
+        assert stats["writes"] > 0
+        assert stats["read_mean_ms"] > 0
+        assert stats["write_mean_ms"] > stats["read_mean_ms"]

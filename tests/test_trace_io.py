@@ -1,0 +1,88 @@
+"""Trace (de)serialisation."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.io import load_trace, save_trace
+from repro.traces.record import Operation, TraceRecord
+from repro.traces.trace import Trace
+from repro.units import KB
+
+
+@pytest.fixture
+def trace():
+    return Trace(
+        "roundtrip",
+        [
+            TraceRecord(time=0.0, op=Operation.WRITE, file_id=1, offset=0, size=1024),
+            TraceRecord(time=0.5, op=Operation.READ, file_id=1, offset=512, size=512),
+            TraceRecord(time=1.0, op=Operation.DELETE, file_id=1),
+        ],
+        block_size=512,
+    )
+
+
+def test_roundtrip_plain(tmp_path, trace):
+    path = tmp_path / "trace.txt"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert loaded.name == "roundtrip"
+    assert loaded.block_size == 512
+    assert len(loaded) == 3
+    assert loaded[1].offset == 512
+    assert loaded[2].op is Operation.DELETE
+
+
+def test_roundtrip_gzip(tmp_path, trace):
+    path = tmp_path / "trace.txt.gz"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert len(loaded) == 3
+
+
+def test_times_preserved(tmp_path, trace):
+    path = tmp_path / "trace.txt"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    assert [r.time for r in loaded] == pytest.approx([r.time for r in trace])
+
+
+def test_comments_and_blank_lines_ignored(tmp_path):
+    path = tmp_path / "trace.txt"
+    path.write_text(
+        "# a comment\n"
+        "\n"
+        "0.0 read 1 0 1024\n"
+        "# another\n"
+        "1.0 write 2 0 512\n"
+    )
+    loaded = load_trace(path)
+    assert len(loaded) == 2
+
+
+def test_header_sets_name_and_block_size(tmp_path):
+    path = tmp_path / "x.txt"
+    path.write_text("#! name=custom block_size=2048\n0.0 read 1 0 2048\n")
+    loaded = load_trace(path)
+    assert loaded.name == "custom"
+    assert loaded.block_size == 2048
+
+
+def test_malformed_line_raises(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0.0 read 1 0\n")
+    with pytest.raises(TraceError):
+        load_trace(path)
+
+
+def test_bad_operation_raises(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0.0 frobnicate 1 0 1024\n")
+    with pytest.raises(TraceError):
+        load_trace(path)
+
+
+def test_default_name_is_stem(tmp_path):
+    path = tmp_path / "mytrace.txt"
+    path.write_text("0.0 read 1 0 1024\n")
+    assert load_trace(path).name == "mytrace"

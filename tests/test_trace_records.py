@@ -1,0 +1,127 @@
+"""Trace record types and the Trace container."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.record import BlockOp, Operation, TraceRecord
+from repro.traces.trace import Trace
+from repro.units import KB
+
+
+class TestTraceRecord:
+    def test_basic_construction(self):
+        record = TraceRecord(time=1.5, op=Operation.READ, file_id=3, offset=512, size=1024)
+        assert record.end_offset == 1536
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(TraceError):
+            TraceRecord(time=-0.1, op=Operation.READ, file_id=0, size=1)
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(TraceError):
+            TraceRecord(time=0, op=Operation.READ, file_id=0, offset=-1, size=1)
+
+    def test_zero_size_read_rejected(self):
+        with pytest.raises(TraceError):
+            TraceRecord(time=0, op=Operation.READ, file_id=0, size=0)
+
+    def test_zero_size_write_rejected(self):
+        with pytest.raises(TraceError):
+            TraceRecord(time=0, op=Operation.WRITE, file_id=0, size=0)
+
+    def test_delete_must_have_zero_size(self):
+        with pytest.raises(TraceError):
+            TraceRecord(time=0, op=Operation.DELETE, file_id=0, size=10)
+
+    def test_delete_with_zero_size_ok(self):
+        record = TraceRecord(time=0, op=Operation.DELETE, file_id=0)
+        assert record.size == 0
+
+    def test_records_are_immutable(self):
+        record = TraceRecord(time=0, op=Operation.READ, file_id=0, size=1)
+        with pytest.raises(AttributeError):
+            record.size = 2
+
+
+class TestBlockOp:
+    def test_nblocks(self):
+        op = BlockOp(time=0, op=Operation.READ, file_id=1, blocks=(5, 6, 7), size=3072)
+        assert op.nblocks == 3
+
+    def test_read_needs_blocks(self):
+        with pytest.raises(TraceError):
+            BlockOp(time=0, op=Operation.READ, file_id=1, blocks=(), size=0)
+
+    def test_delete_may_have_no_blocks(self):
+        op = BlockOp(time=0, op=Operation.DELETE, file_id=1)
+        assert op.nblocks == 0
+
+
+class TestTrace:
+    def test_length_and_iteration(self, tiny_trace):
+        assert len(tiny_trace) == 4
+        assert [record.op for record in tiny_trace][0] is Operation.WRITE
+
+    def test_indexing(self, tiny_trace):
+        assert tiny_trace[1].op is Operation.READ
+
+    def test_duration(self, tiny_trace):
+        assert tiny_trace.duration == pytest.approx(0.3)
+
+    def test_empty_trace_duration(self):
+        assert Trace("empty", []).duration == 0.0
+
+    def test_time_must_be_monotone(self):
+        records = [
+            TraceRecord(time=1.0, op=Operation.READ, file_id=0, size=1),
+            TraceRecord(time=0.5, op=Operation.READ, file_id=0, size=1),
+        ]
+        with pytest.raises(TraceError):
+            Trace("bad", records)
+
+    def test_equal_times_allowed(self):
+        records = [
+            TraceRecord(time=1.0, op=Operation.READ, file_id=0, size=1),
+            TraceRecord(time=1.0, op=Operation.READ, file_id=1, size=1),
+        ]
+        trace = Trace("ties", records)
+        assert len(trace) == 2
+
+    def test_block_size_must_be_positive(self):
+        with pytest.raises(TraceError):
+            Trace("bad", [], block_size=0)
+
+    def test_file_ids(self, tiny_trace):
+        assert tiny_trace.file_ids() == {1, 2}
+
+    def test_distinct_bytes_counts_unique_blocks(self, tiny_trace):
+        # file 1: blocks 0,1 (write 2 KB) re-read; file 2: block 0.
+        assert tiny_trace.distinct_bytes() == 3 * KB
+
+    def test_distinct_bytes_ignores_deletes(self):
+        records = [
+            TraceRecord(time=0, op=Operation.WRITE, file_id=1, size=1024),
+            TraceRecord(time=1, op=Operation.DELETE, file_id=1),
+        ]
+        trace = Trace("d", records, block_size=KB)
+        assert trace.distinct_bytes() == KB
+
+    def test_operation_counts(self, tiny_trace):
+        counts = tiny_trace.operation_counts()
+        assert counts[Operation.READ] == 2
+        assert counts[Operation.WRITE] == 2
+        assert counts[Operation.DELETE] == 0
+
+    def test_split_warm_sizes(self, tiny_trace):
+        warm, rest = tiny_trace.split_warm(0.25)
+        assert len(warm) == 1
+        assert len(rest) == 3
+
+    def test_split_warm_zero_fraction(self, tiny_trace):
+        warm, rest = tiny_trace.split_warm(0.0)
+        assert len(warm) == 0
+        assert len(rest) == 4
+
+    def test_split_warm_invalid_fraction(self, tiny_trace):
+        with pytest.raises(TraceError):
+            tiny_trace.split_warm(1.0)

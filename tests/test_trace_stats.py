@@ -1,0 +1,86 @@
+"""Trace statistics (Table 3 machinery)."""
+
+import math
+
+import pytest
+
+from repro.traces.record import Operation, TraceRecord
+from repro.traces.stats import compute_statistics
+from repro.traces.trace import Trace
+from repro.units import KB
+
+
+def build_trace():
+    records = [
+        TraceRecord(time=0.0, op=Operation.WRITE, file_id=1, offset=0, size=2 * KB),
+        TraceRecord(time=1.0, op=Operation.READ, file_id=1, offset=0, size=1 * KB),
+        TraceRecord(time=3.0, op=Operation.READ, file_id=1, offset=0, size=3 * KB),
+        TraceRecord(time=4.0, op=Operation.DELETE, file_id=1),
+    ]
+    return Trace("stats", records, block_size=KB)
+
+
+def test_fraction_reads_counts_all_ops():
+    stats = compute_statistics(build_trace())
+    assert stats.fraction_reads == pytest.approx(2 / 4)
+
+
+def test_mean_read_blocks():
+    stats = compute_statistics(build_trace())
+    assert stats.mean_read_blocks == pytest.approx(2.0)  # (1 + 3) / 2
+
+
+def test_mean_write_blocks():
+    stats = compute_statistics(build_trace())
+    assert stats.mean_write_blocks == pytest.approx(2.0)
+
+
+def test_interarrival_mean_max(build=build_trace):
+    stats = compute_statistics(build())
+    assert stats.interarrival_mean_s == pytest.approx((1 + 2 + 1) / 3)
+    assert stats.interarrival_max_s == pytest.approx(2.0)
+
+
+def test_interarrival_std():
+    stats = compute_statistics(build_trace())
+    gaps = [1.0, 2.0, 1.0]
+    mean = sum(gaps) / 3
+    expected = math.sqrt(sum((g - mean) ** 2 for g in gaps) / 3)
+    assert stats.interarrival_std_s == pytest.approx(expected)
+
+
+def test_distinct_kbytes():
+    stats = compute_statistics(build_trace())
+    assert stats.distinct_kbytes == pytest.approx(3.0)  # blocks 0,1,2 of file 1
+
+
+def test_duration():
+    stats = compute_statistics(build_trace())
+    assert stats.duration_s == pytest.approx(4.0)
+
+
+def test_warm_fraction_drops_leading_records():
+    stats = compute_statistics(build_trace(), warm_fraction=0.5)
+    assert stats.n_records == 2
+    assert stats.n_deletes == 1
+
+
+def test_unaligned_transfer_block_count():
+    records = [
+        TraceRecord(time=0.0, op=Operation.READ, file_id=1, offset=512, size=KB),
+    ]
+    stats = compute_statistics(Trace("u", records, block_size=KB))
+    assert stats.mean_read_blocks == pytest.approx(2.0)  # straddles boundary
+
+
+def test_empty_trace():
+    stats = compute_statistics(Trace("empty", [], block_size=KB))
+    assert stats.n_records == 0
+    assert stats.fraction_reads == 0.0
+    assert stats.interarrival_mean_s == 0.0
+
+
+def test_row_mapping_keys():
+    row = compute_statistics(build_trace()).row()
+    assert row["trace"] == "stats"
+    assert "interarrival_std_s" in row

@@ -1,0 +1,44 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.units import KB, MB, SECTOR, kbps, ms, to_kb, to_mb, transfer_time
+
+
+def test_binary_constants():
+    assert KB == 1024
+    assert MB == 1024 * 1024
+    assert SECTOR == 512
+
+
+def test_kbps_converts_paper_throughputs():
+    # The CU140's 2125 KB/s from Table 2.
+    assert kbps(2125) == 2125 * 1024
+
+
+def test_ms_converts_latency():
+    assert ms(25.7) == pytest.approx(0.0257)
+
+
+def test_to_kb_roundtrip():
+    assert to_kb(kbps(600)) == 600
+
+
+def test_to_mb():
+    assert to_mb(10 * MB) == 10
+
+
+def test_transfer_time_basic():
+    assert transfer_time(1024, 1024.0) == pytest.approx(1.0)
+
+
+def test_transfer_time_zero_bytes():
+    assert transfer_time(0, 1000.0) == 0.0
+
+
+def test_transfer_time_zero_bandwidth_is_instant():
+    assert transfer_time(4096, 0.0) == 0.0
+
+
+def test_transfer_time_negative_bytes_is_zero():
+    assert transfer_time(-5, 1000.0) == 0.0

@@ -1,0 +1,64 @@
+"""Flash wear statistics and endurance arithmetic."""
+
+import pytest
+
+from repro.flash.segment import Segment
+from repro.flash.wear import WearStats, wear_stats
+
+
+def segments_with_erases(counts):
+    segments = []
+    for index, count in enumerate(counts):
+        segment = Segment(index, 4)
+        segment.erase_count = count
+        segments.append(segment)
+    return segments
+
+
+def test_totals_and_extremes():
+    stats = wear_stats(segments_with_erases([3, 7, 0]), 100_000, 3600.0)
+    assert stats.total_erasures == 10
+    assert stats.max_erasures == 7
+    assert stats.mean_erasures == pytest.approx(10 / 3)
+    assert stats.segments == 3
+
+
+def test_max_erase_rate():
+    stats = wear_stats(segments_with_erases([10]), 100_000, 7200.0)
+    assert stats.max_erase_rate_per_hour == pytest.approx(5.0)
+
+
+def test_lifetime_projection():
+    stats = wear_stats(segments_with_erases([10]), 100_000, 3600.0)
+    # 10 erases/hour against a 100k budget: 10,000 hours.
+    assert stats.lifetime_hours() == pytest.approx(10_000.0)
+
+
+def test_lifetime_infinite_without_erases():
+    stats = wear_stats(segments_with_erases([0, 0]), 100_000, 3600.0)
+    assert stats.lifetime_hours() == float("inf")
+
+
+def test_wear_ratio():
+    low = wear_stats(segments_with_erases([7]), 100_000, 3600.0)
+    high = wear_stats(segments_with_erases([34]), 100_000, 3600.0)
+    # The paper's mac numbers: 7 -> 34 max erasures.
+    assert high.wear_ratio(low) == pytest.approx(34 / 7)
+
+
+def test_wear_ratio_zero_baseline():
+    low = wear_stats(segments_with_erases([0]), 100_000, 3600.0)
+    high = wear_stats(segments_with_erases([5]), 100_000, 3600.0)
+    assert high.wear_ratio(low) == float("inf")
+    assert low.wear_ratio(low) == 1.0
+
+
+def test_empty_segments():
+    stats = wear_stats([], 100_000, 3600.0)
+    assert stats.max_erasures == 0
+    assert stats.mean_erasures == 0.0
+
+
+def test_zero_duration_rate():
+    stats = wear_stats(segments_with_erases([5]), 100_000, 0.0)
+    assert stats.max_erase_rate_per_hour == 0.0

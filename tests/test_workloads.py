@@ -1,0 +1,164 @@
+"""The mac/dos/hp workload generators vs their Table 3 targets."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.record import Operation
+from repro.traces.stats import compute_statistics
+from repro.traces.workloads import (
+    DosWorkload,
+    HpWorkload,
+    MacWorkload,
+    WorkloadSpec,
+    workload_by_name,
+)
+from repro.units import KB
+
+
+@pytest.fixture(scope="module")
+def mac_trace():
+    return MacWorkload().generate(seed=5, n_ops=20_000)
+
+
+@pytest.fixture(scope="module")
+def dos_trace():
+    return DosWorkload().generate(seed=5, n_ops=5_000)
+
+
+@pytest.fixture(scope="module")
+def hp_trace():
+    return HpWorkload().generate(seed=5, n_ops=5_000)
+
+
+class TestTable3Targets:
+    def test_mac_read_fraction(self, mac_trace):
+        stats = compute_statistics(mac_trace)
+        assert stats.fraction_reads == pytest.approx(0.50, abs=0.03)
+
+    def test_dos_read_fraction(self, dos_trace):
+        stats = compute_statistics(dos_trace)
+        assert stats.fraction_reads == pytest.approx(0.24, abs=0.03)
+
+    def test_hp_read_fraction(self, hp_trace):
+        stats = compute_statistics(hp_trace)
+        assert stats.fraction_reads == pytest.approx(0.38, abs=0.03)
+
+    def test_mac_block_size(self, mac_trace):
+        assert mac_trace.block_size == KB
+
+    def test_dos_block_size(self, dos_trace):
+        assert dos_trace.block_size == KB // 2
+
+    def test_mac_transfer_sizes(self, mac_trace):
+        stats = compute_statistics(mac_trace)
+        assert stats.mean_read_blocks == pytest.approx(1.3, rel=0.15)
+        assert stats.mean_write_blocks == pytest.approx(1.2, rel=0.15)
+
+    def test_dos_transfer_sizes(self, dos_trace):
+        stats = compute_statistics(dos_trace)
+        assert stats.mean_read_blocks == pytest.approx(3.8, rel=0.25)
+        assert stats.mean_write_blocks == pytest.approx(3.4, rel=0.25)
+
+    def test_hp_transfer_sizes(self, hp_trace):
+        stats = compute_statistics(hp_trace)
+        assert stats.mean_read_blocks == pytest.approx(4.3, rel=0.25)
+        assert stats.mean_write_blocks == pytest.approx(6.2, rel=0.25)
+
+    def test_mac_interarrival_mean(self, mac_trace):
+        stats = compute_statistics(mac_trace)
+        assert stats.interarrival_mean_s == pytest.approx(0.078, rel=0.15)
+
+    def test_dos_interarrival_mean(self, dos_trace):
+        stats = compute_statistics(dos_trace)
+        assert stats.interarrival_mean_s == pytest.approx(0.528, rel=0.2)
+
+    def test_hp_interarrival_mean(self, hp_trace):
+        stats = compute_statistics(hp_trace)
+        assert stats.interarrival_mean_s == pytest.approx(11.1, rel=0.25)
+
+    def test_interarrival_caps_respected(self, mac_trace, dos_trace, hp_trace):
+        for trace, cap in ((mac_trace, 90.8), (dos_trace, 713.0), (hp_trace, 1800.0)):
+            stats = compute_statistics(trace)
+            assert stats.interarrival_max_s <= cap + 1e-6
+
+    def test_only_dos_deletes(self, mac_trace, dos_trace, hp_trace):
+        assert mac_trace.operation_counts()[Operation.DELETE] == 0
+        assert dos_trace.operation_counts()[Operation.DELETE] > 0
+        assert hp_trace.operation_counts()[Operation.DELETE] == 0
+
+
+class TestGeneratorMechanics:
+    def test_lookup_by_name(self):
+        assert workload_by_name("mac").name == "mac"
+        assert workload_by_name("hp").name == "hp"
+
+    def test_unknown_name(self):
+        with pytest.raises(TraceError):
+            workload_by_name("vax")
+
+    def test_determinism(self):
+        a = MacWorkload().generate(seed=3, n_ops=300)
+        b = MacWorkload().generate(seed=3, n_ops=300)
+        assert [(r.time, r.file_id, r.offset) for r in a] == [
+            (r.time, r.file_id, r.offset) for r in b
+        ]
+
+    def test_n_operations_from_duration(self):
+        spec = MacWorkload()
+        assert spec.n_operations == int(spec.duration_s / spec.interarrival_mean_s)
+
+    def test_reads_never_target_deleted_files(self, dos_trace):
+        deleted = set()
+        for record in dos_trace:
+            if record.op is Operation.DELETE:
+                deleted.add(record.file_id)
+            elif record.op is Operation.READ:
+                assert record.file_id not in deleted
+            elif record.op is Operation.WRITE:
+                deleted.discard(record.file_id)
+
+    def test_offsets_within_files(self, mac_trace):
+        # offsets are block-aligned and inside the file's allocated size
+        for record in mac_trace:
+            if record.op is Operation.DELETE:
+                continue
+            assert record.offset % mac_trace.block_size == 0
+
+    def test_mac_write_traffic_is_concentrated(self, mac_trace):
+        """write_hot_access_fraction: writes touch far less distinct data
+        than the trace as a whole (the hot write working set)."""
+        written_blocks = set()
+        write_events = 0
+        for record in mac_trace:
+            if record.op is Operation.WRITE:
+                first = record.offset // KB
+                last = (record.end_offset - 1) // KB
+                written_blocks.update(
+                    (record.file_id, index) for index in range(first, last + 1)
+                )
+                write_events += record.size // KB or 1
+        # Heavy rewriting: each written block is overwritten many times.
+        assert write_events / len(written_blocks) > 3.0
+        # And the write working set is small next to all data accessed
+        # (cold-read coverage keeps growing with trace length, so the bound
+        # is loose at this short length).
+        assert len(written_blocks) * KB < 0.75 * mac_trace.distinct_bytes()
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(TraceError):
+            WorkloadSpec(
+                name="bad", duration_s=10, distinct_kbytes=10,
+                read_fraction=1.5, block_size=KB,
+                mean_read_blocks=1, mean_write_blocks=1,
+                interarrival_mean_s=1, interarrival_max_s=10,
+            )
+
+    def test_min_max_file_blocks_validated(self):
+        with pytest.raises(TraceError):
+            WorkloadSpec(
+                name="bad", duration_s=10, distinct_kbytes=10,
+                read_fraction=0.5, block_size=KB,
+                mean_read_blocks=1, mean_write_blocks=1,
+                interarrival_mean_s=1, interarrival_max_s=10,
+                min_file_blocks=10, max_file_blocks=5,
+            )
