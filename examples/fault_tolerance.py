@@ -1,0 +1,69 @@
+"""Scenario: how does each storage alternative weather a bad day?
+
+The paper's reliability claims are qualitative: battery-backed SRAM makes
+buffered writes crash-safe (section 5.5), flash wears toward its endurance
+limit (section 5.2), and a write-back cache risks "occasional data loss"
+(section 4.2).  This example replays one workload through the magnetic
+disk, the flash disk, and the flash card under a single deterministic
+fault plan — 1% transient I/O errors, wear-scaled bad-block growth, and
+two power losses — and compares what each alternative loses and what its
+recovery costs.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro import SimulationConfig, simulate
+from repro.faults.plan import FaultPlan
+from repro.traces.synthetic import SyntheticWorkload
+
+ALTERNATIVES = (
+    ("magnetic disk", "cu140-datasheet"),
+    ("flash disk", "sdp5a-datasheet"),
+    ("flash card", "intel-datasheet"),
+)
+
+
+def main() -> None:
+    trace = SyntheticWorkload().generate(n_ops=8_000, seed=4)
+    plan = FaultPlan(
+        seed=11,
+        transient_read_rate=0.01,
+        transient_write_rate=0.01,
+        bad_block_rate=0.002,
+        power_loss_times=(0.4 * trace.duration, 0.8 * trace.duration),
+    )
+    print(f"workload: {len(trace)} ops over {trace.duration:.0f} s")
+    print(
+        f"fault plan: seed {plan.seed}, 1% transient errors, "
+        f"bad-block rate {plan.bad_block_rate:g}, "
+        f"{len(plan.power_loss_times)} power losses\n"
+    )
+
+    header = (
+        f"{'alternative':>14s} {'retries':>8s} {'bad blocks':>11s} "
+        f"{'torn':>5s} {'lost':>5s} {'replayed':>9s} {'recovery ms':>12s} "
+        f"{'energy +%':>10s}"
+    )
+    print(header)
+    for label, device in ALTERNATIVES:
+        config = SimulationConfig(device=device)
+        clean = simulate(trace, config)
+        faulted = simulate(trace, config.with_options(fault_plan=plan))
+        rel = faulted.reliability
+        overhead = 100.0 * (faulted.energy_j / clean.energy_j - 1.0)
+        print(
+            f"{label:>14s} {rel.total_retries:8d} {rel.erase_failures:11d} "
+            f"{rel.torn_writes:5d} {rel.lost_dirty_blocks:5d} "
+            f"{rel.replayed_blocks:9d} {rel.recovery_time_s * 1e3:12.1f} "
+            f"{overhead:10.2f}"
+        )
+
+    print(
+        "\nthe same seed drives every run, so all three alternatives face "
+        "the identical\nfault schedule; rerun the script and the numbers "
+        "repeat bit for bit."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -6,6 +6,7 @@ Commands:
 * ``generate``  — write a synthetic trace to a file
 * ``analyze``   — characterise a trace file (Table 3 stats + locality toolkit)
 * ``experiment``— run a registered experiment driver (same as the runner)
+* ``faults``    — simulate under an injected-fault plan and report reliability
 * ``devices``   — list registered device parameter sets
 * ``experiments`` — list registered experiments
 """
@@ -54,6 +55,37 @@ def _add_experiment(subparsers) -> None:
     parser = subparsers.add_parser("experiment", help="run an experiment driver")
     parser.add_argument("experiment_id")
     parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--seed", type=int, default=None,
+                        help="trace-generation seed (default: module default)")
+
+
+def _add_faults(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "faults", help="simulate under injected faults and report reliability"
+    )
+    parser.add_argument("--workload", default="synth",
+                        help="mac | dos | hp | synth | path to a trace file")
+    parser.add_argument("--device", default="intel-datasheet")
+    parser.add_argument("--ops", type=int, default=10_000,
+                        help="operations to generate (ignored for trace files)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="trace seed; also seeds the fault schedule")
+    parser.add_argument("--dram-kb", type=int, default=2048)
+    parser.add_argument("--sram-kb", type=int, default=32)
+    parser.add_argument("--read-error-rate", type=float, default=0.01,
+                        help="transient read-failure probability per operation")
+    parser.add_argument("--write-error-rate", type=float, default=0.01,
+                        help="transient write-failure probability per operation")
+    parser.add_argument("--bad-block-rate", type=float, default=0.002,
+                        help="base erase-failure probability (scales with wear)")
+    parser.add_argument("--power-loss-at", type=float, action="append",
+                        default=None, metavar="SECONDS",
+                        help="schedule a power loss (repeatable); default: "
+                        "one at 50%% of the trace")
+    parser.add_argument("--spares", type=int, default=2,
+                        help="spare segments for bad-block remapping")
+    parser.add_argument("--max-retries", type=int, default=3,
+                        help="bounded retries per transient failure")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_generate(subparsers)
     _add_analyze(subparsers)
     _add_experiment(subparsers)
+    _add_faults(subparsers)
     subparsers.add_parser("devices", help="list device parameter sets")
     subparsers.add_parser("experiments", help="list experiment drivers")
     return parser
@@ -164,7 +197,69 @@ def cmd_analyze(args) -> int:
 def cmd_experiment(args) -> int:
     from repro.experiments.runner import run_experiment
 
-    print(run_experiment(args.experiment_id, scale=args.scale).render())
+    print(run_experiment(args.experiment_id, scale=args.scale, seed=args.seed).render())
+    return 0
+
+
+def cmd_faults(args) -> int:
+    from repro.core.config import SimulationConfig
+    from repro.core.simulator import simulate
+    from repro.errors import FlashOutOfSpaceError, UnrecoverableDeviceError
+    from repro.faults.plan import FaultPlan
+
+    trace = _load_workload(args.workload, args.ops, args.seed)
+    power_losses = args.power_loss_at
+    if power_losses is None:
+        power_losses = [0.5 * trace.duration]
+    plan = FaultPlan(
+        seed=args.seed,
+        transient_read_rate=args.read_error_rate,
+        transient_write_rate=args.write_error_rate,
+        bad_block_rate=args.bad_block_rate,
+        power_loss_times=tuple(power_losses),
+        spare_segments=args.spares,
+        max_retries=args.max_retries,
+    )
+    config = SimulationConfig(
+        device=args.device,
+        dram_bytes=args.dram_kb * KB,
+        sram_bytes=args.sram_kb * KB,
+        fault_plan=plan,
+    )
+    try:
+        result = simulate(trace, config)
+    except (FlashOutOfSpaceError, UnrecoverableDeviceError) as exc:
+        print(f"trace       {trace.name} ({len(trace)} ops, {trace.duration:.0f} s)")
+        print(f"device      {args.device}")
+        print(f"DEVICE FAILED under the fault plan: {exc}")
+        return 1
+    print(f"trace       {result.trace_name} ({len(trace)} ops, "
+          f"{trace.duration:.0f} s)")
+    print(f"device      {result.device_name}")
+    print(f"fault plan  seed {plan.seed}, read/write error rates "
+          f"{plan.transient_read_rate:g}/{plan.transient_write_rate:g}, "
+          f"bad-block rate {plan.bad_block_rate:g}, "
+          f"{len(plan.power_loss_times)} power loss(es)")
+    print(f"energy      {result.energy_j:.1f} J")
+    print(f"reads       {result.n_reads}: mean {result.read_response.mean_ms:.3f} ms")
+    print(f"writes      {result.n_writes}: mean {result.write_response.mean_ms:.3f} ms")
+    rel = result.reliability
+    if rel is None:
+        print("reliability (no faults enabled: plan is a strict no-op)")
+        return 0
+    print("reliability")
+    print(f"  retries          {rel.read_retries} read, {rel.write_retries} write "
+          f"({rel.retry_delay_s * 1e3:.2f} ms backoff)")
+    print(f"  unrecovered      {rel.unrecovered_errors}")
+    print(f"  bad blocks       {rel.erase_failures} erase failures: "
+          f"{rel.remapped_segments} remapped, {rel.retired_segments} segments + "
+          f"{rel.retired_sectors} sectors retired, "
+          f"{rel.spares_remaining} spare(s) left")
+    print(f"  power losses     {rel.power_losses} ({rel.torn_writes} torn writes)")
+    print(f"  data loss        {rel.lost_dirty_blocks} dirty blocks lost, "
+          f"{rel.dropped_cache_blocks} clean blocks dropped")
+    print(f"  recovery         {rel.replayed_blocks} blocks replayed from SRAM, "
+          f"{rel.recovery_time_s * 1e3:.2f} ms, {rel.recovery_energy_j:.4f} J")
     return 0
 
 
@@ -192,6 +287,7 @@ _COMMANDS = {
     "generate": cmd_generate,
     "analyze": cmd_analyze,
     "experiment": cmd_experiment,
+    "faults": cmd_faults,
     "devices": cmd_devices,
     "experiments": cmd_experiments,
 }

@@ -138,6 +138,20 @@ class BufferCache:
         self._dirty.clear()
         return dirty
 
+    def drop_all(self) -> tuple[int, int]:
+        """Lose every resident block (power loss: DRAM is volatile).
+
+        Returns ``(resident, dirty)`` counts; in write-back mode the dirty
+        blocks are gone for good — the "occasional data loss" the paper's
+        section 4.2 warns a write-back cache trades for fewer erasures.
+        """
+        resident = len(self.policy)
+        dirty = len(self._dirty)
+        while len(self.policy):
+            self.policy.evict()
+        self._dirty.clear()
+        return resident, dirty
+
     @property
     def dirty_blocks(self) -> int:
         """Number of resident dirty blocks (write-back mode)."""

@@ -45,6 +45,8 @@ class SramWriteBuffer:
         self.absorbed_writes = 0
         self.sync_flushes = 0
         self.background_flushes = 0
+        #: crash-recovery replays of the buffer (the battery kept it alive)
+        self.replays = 0
 
     @property
     def enabled(self) -> bool:
@@ -110,6 +112,17 @@ class SramWriteBuffer:
         self._dirty.clear()
         return blocks
 
+    def crash_replay(self) -> list[int]:
+        """Survive a power loss and hand back the buffered blocks.
+
+        The buffer is battery-backed, so — unlike the DRAM cache — its
+        contents are intact after a crash (paper section 5.5: "writes to
+        SRAM can be recovered after a crash").  The caller replays the
+        returned blocks to the device during recovery.
+        """
+        self.replays += 1
+        return self.drain()
+
     def invalidate(self, blocks: Iterable[int]) -> None:
         """Drop buffered copies of deleted blocks."""
         for block in blocks:
@@ -121,3 +134,4 @@ class SramWriteBuffer:
         self.absorbed_writes = 0
         self.sync_flushes = 0
         self.background_flushes = 0
+        self.replays = 0

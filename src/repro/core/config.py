@@ -6,10 +6,11 @@ section 5.5 and the ablation switches from DESIGN.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any
 
 from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
 from repro.units import KB, MB
 
 
@@ -76,6 +77,10 @@ class SimulationConfig:
     warm_fraction: float = 0.1
     dram_spec: str = "nec-dram"
     sram_spec: str = "nec-sram"
+    #: fault-injection plan (transient I/O errors, bad-block growth, power
+    #: losses); ``None`` — and any plan with all rates zero and no power-loss
+    #: schedule — leaves every existing code path bit-identical.
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.dram_bytes < 0:
@@ -90,6 +95,8 @@ class SimulationConfig:
             raise ConfigurationError("spin_down_timeout_s must be >= 0 or None")
         if self.flash_cache_bytes < 0:
             raise ConfigurationError("flash_cache_bytes must be >= 0")
+        if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
+            raise ConfigurationError("fault_plan must be a FaultPlan or None")
 
     def with_options(self, **changes: Any) -> "SimulationConfig":
         """A copy of this configuration with ``changes`` applied."""
@@ -114,4 +121,7 @@ class SimulationConfig:
             "flash_cache_bytes": self.flash_cache_bytes,
             "response_includes_queueing": self.response_includes_queueing,
             "warm_fraction": self.warm_fraction,
+            "fault_plan": (
+                self.fault_plan.describe() if self.fault_plan is not None else None
+            ),
         }

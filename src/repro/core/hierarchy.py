@@ -36,7 +36,10 @@ from repro.devices.specs import (
     memory_spec,
 )
 from repro.devices.spindown import FixedTimeoutPolicy, NeverSpinDownPolicy
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, UnrecoverableDeviceError
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import ReliabilityMeter, recovery_scan_s
+from repro.faults.retry import RetryPolicy
 from repro.flash.cleaner import cleaning_policy
 from repro.traces.record import BlockOp
 
@@ -54,6 +57,7 @@ class StorageHierarchy:
         sram: SramWriteBuffer | None,
         block_bytes: int,
         response_includes_queueing: bool = False,
+        injector: FaultInjector | None = None,
     ) -> None:
         self.device = device
         self.dram = dram if dram is not None and dram.enabled else None
@@ -61,6 +65,14 @@ class StorageHierarchy:
         self.block_bytes = block_bytes
         self.write_back = bool(dram and dram.write_back)
         self.response_includes_queueing = response_includes_queueing
+        self.faults = injector
+        if injector is not None:
+            plan = injector.plan
+            self.retry = RetryPolicy(plan.max_retries, plan.retry_backoff_s)
+            self.reliability: ReliabilityMeter | None = ReliabilityMeter()
+        else:
+            self.retry = None
+            self.reliability = None
 
     # -- time/energy bookkeeping ---------------------------------------------------
 
@@ -97,6 +109,8 @@ class StorageHierarchy:
             self.dram.reset_accounting()
         if self.sram is not None:
             self.sram.reset_accounting()
+        if self.reliability is not None:
+            self.reliability.reset()
 
     def energy_breakdown(self) -> dict[str, dict[str, float]]:
         """Per-component, per-bucket energy in Joules."""
@@ -138,7 +152,7 @@ class StorageHierarchy:
             if device_blocks:
                 queue_wait = self._queue_wait(now)
                 before = now
-                now = self.device.read(
+                now = self._device_read(
                     now, len(device_blocks) * self.block_bytes, device_blocks, op.file_id
                 )
                 # Never subtract more waiting than actually elapsed (a
@@ -189,7 +203,7 @@ class StorageHierarchy:
                 self.sram.invalidate(op.blocks)
             queue_wait = self._queue_wait(now)
             before = now
-            now = self.device.write(now, op.size, op.blocks, op.file_id)
+            now = self._device_write(now, op.size, op.blocks, op.file_id)
             now -= min(queue_wait, max(0.0, now - before))
             self._background_flush()
         return now - at
@@ -203,6 +217,54 @@ class StorageHierarchy:
             self.sram.invalidate(op.blocks)
         self.device.delete(op.time, op.blocks)
 
+    # -- crash / recovery --------------------------------------------------------------
+
+    def crash(self, at: float) -> None:
+        """Lose power at trace time ``at`` and recover.
+
+        Semantics (paper sections 4.2 and 5.5):
+
+        * any device operation still in flight is torn (counted, then
+          truncated — the model does not track partially-written blocks);
+        * the volatile DRAM cache is dropped; in write-back mode its dirty
+          blocks are lost outright (data loss, counted);
+        * the battery-backed SRAM buffer survives and replays its dirty
+          blocks to the device during recovery;
+        * recovery costs a metadata scan (base + per-MB) plus the replay
+          writes, all charged to the device's ``recovery`` energy bucket
+          and to the run's recovery-time counter.
+        """
+        meter = self.reliability
+        meter.power_losses += 1
+        if self.device.busy_until > at + 1e-12:
+            meter.torn_writes += 1
+        self.advance(at)
+        self.device.power_cycle(at)
+
+        if self.dram is not None:
+            resident, dirty = self.dram.drop_all()
+            meter.dropped_cache_blocks += resident
+            meter.lost_dirty_blocks += dirty
+
+        energy_before = self.device.energy.total_j
+        now = self.device.recover(at, recovery_scan_s(self.device, self.faults.plan))
+        if self.sram is not None and self.sram.dirty_count:
+            blocks = self.sram.crash_replay()
+            meter.replayed_blocks += len(blocks)
+            # Replay bypasses fault injection: recovery code paths verify
+            # each write, so a transient fault costs nothing extra here.
+            now = self.device.write(
+                now, len(blocks) * self.block_bytes, blocks, _FLUSH_FILE_ID
+            )
+        meter.recovery_time_s += now - at
+        meter.recovery_energy_j += self.device.energy.total_j - energy_before
+
+    def reliability_snapshot(self):
+        """Frozen reliability stats, or None when no faults were injected."""
+        if self.reliability is None:
+            return None
+        return self.reliability.snapshot(self.device)
+
     # -- helpers ---------------------------------------------------------------------
 
     def _queue_wait(self, now: float) -> float:
@@ -213,9 +275,53 @@ class StorageHierarchy:
             return 0.0
         return max(0.0, self.device.busy_until - now)
 
+    def _device_read(self, at: float, size: int, blocks, file_id: int) -> float:
+        """Device read with transient-fault retries; returns completion."""
+        completion = self.device.read(at, size, blocks, file_id)
+        if self.faults is None:
+            return completion
+        retries, recovered = self.faults.read_failures()
+        for attempt in range(retries):
+            delay = self.retry.backoff(attempt)
+            self.reliability.read_retries += 1
+            self.reliability.retry_delay_s += delay
+            completion = self.device.read(completion + delay, size, blocks, file_id)
+        if not recovered:
+            self._unrecovered("read", blocks)
+        return completion
+
+    def _device_write(self, at: float, size: int, blocks, file_id: int) -> float:
+        """Device write with transient-fault retries; returns completion.
+
+        Each retry re-issues the whole operation after an exponential
+        backoff: the device charges time and energy again (and, on flash,
+        burns another out-of-place allocation — retried programs are real
+        wear), and the foreground response stretches accordingly.
+        """
+        completion = self.device.write(at, size, blocks, file_id)
+        if self.faults is None:
+            return completion
+        retries, recovered = self.faults.write_failures()
+        for attempt in range(retries):
+            delay = self.retry.backoff(attempt)
+            self.reliability.write_retries += 1
+            self.reliability.retry_delay_s += delay
+            completion = self.device.write(completion + delay, size, blocks, file_id)
+        if not recovered:
+            self._unrecovered("write", blocks)
+        return completion
+
+    def _unrecovered(self, kind: str, blocks) -> None:
+        self.reliability.unrecovered_errors += 1
+        if self.faults.plan.fail_fast:
+            raise UnrecoverableDeviceError(
+                f"{kind} of blocks {list(blocks)[:4]}... still failing after "
+                f"{self.faults.plan.max_retries} retries"
+            )
+
     def _write_device(self, now: float, blocks: list[int]) -> float:
         """Synchronous batched device write (flushes, evictions)."""
-        return self.device.write(
+        return self._device_write(
             now, len(blocks) * self.block_bytes, blocks, _FLUSH_FILE_ID
         )
 
@@ -229,7 +335,7 @@ class StorageHierarchy:
         blocks = self.sram.drain()
         self.sram.background_flushes += 1
         start = max(self.device.busy_until, self.device.clock)
-        self.device.write(start, len(blocks) * self.block_bytes, blocks, file_id)
+        self._device_write(start, len(blocks) * self.block_bytes, blocks, file_id)
 
 
 # ---------------------------------------------------------------------------
@@ -241,6 +347,7 @@ def build_hierarchy(
     config: SimulationConfig,
     block_bytes: int,
     dataset_blocks: int,
+    injector: FaultInjector | None = None,
 ) -> StorageHierarchy:
     """Construct the hierarchy ``config`` describes for a trace whose
     preprocessed dataset spans ``dataset_blocks`` device blocks."""
@@ -250,13 +357,13 @@ def build_hierarchy(
     if isinstance(spec, DiskSpec):
         device = _build_disk(config, spec)
         if config.flash_cache_bytes > 0:
-            device = _wrap_flash_cache(config, device, block_bytes)
+            device = _wrap_flash_cache(config, device, block_bytes, injector)
         sram = _build_sram(config, block_bytes) if config.sram_bytes else None
     elif isinstance(spec, FlashDiskSpec):
-        device = _build_flash_disk(config, spec, block_bytes, dataset_blocks)
+        device = _build_flash_disk(config, spec, block_bytes, dataset_blocks, injector)
         sram = _build_sram(config, block_bytes) if config.sram_on_flash else None
     elif isinstance(spec, FlashCardSpec):
-        device = _build_flash_card(config, spec, block_bytes, dataset_blocks)
+        device = _build_flash_card(config, spec, block_bytes, dataset_blocks, injector)
         sram = _build_sram(config, block_bytes) if config.sram_on_flash else None
     else:  # pragma: no cover - registry guarantees the three spec types
         raise ConfigurationError(f"unsupported device spec type: {type(spec)!r}")
@@ -267,6 +374,7 @@ def build_hierarchy(
         sram,
         block_bytes,
         response_includes_queueing=config.response_includes_queueing,
+        injector=injector,
     )
 
 
@@ -298,6 +406,7 @@ def _wrap_flash_cache(
     config: SimulationConfig,
     disk: MagneticDisk,
     block_bytes: int,
+    injector: FaultInjector | None = None,
 ) -> StorageDevice:
     """Front ``disk`` with a flash-card block cache (extension X1)."""
     from repro.devices.flashcache import FlashCacheDevice
@@ -314,6 +423,8 @@ def _wrap_flash_cache(
         capacity_bytes=capacity,
         block_bytes=block_bytes,
         policy=cleaning_policy(config.cleaning_policy),
+        injector=injector,
+        spare_segments=injector.plan.spare_segments if injector else 0,
     )
     return FlashCacheDevice(disk, flash)
 
@@ -323,6 +434,7 @@ def _build_flash_disk(
     spec: FlashDiskSpec,
     block_bytes: int,
     dataset_blocks: int,
+    injector: FaultInjector | None = None,
 ) -> FlashDisk:
     dataset_bytes = dataset_blocks * block_bytes
     capacity = config.flash_capacity_bytes
@@ -340,6 +452,7 @@ def _build_flash_disk(
         capacity_bytes=capacity,
         block_bytes=block_bytes,
         async_erase=config.async_erase,
+        injector=injector,
     )
     capacity_blocks = capacity // block_bytes
     target_live = max(dataset_blocks, int(config.flash_utilization * capacity_blocks))
@@ -352,6 +465,7 @@ def _build_flash_card(
     spec: FlashCardSpec,
     block_bytes: int,
     dataset_blocks: int,
+    injector: FaultInjector | None = None,
 ) -> FlashCard:
     if config.segment_bytes is not None and config.segment_bytes != spec.segment_bytes:
         spec = replace(spec, segment_bytes=config.segment_bytes)
@@ -380,6 +494,8 @@ def _build_flash_card(
         block_bytes=block_bytes,
         policy=cleaning_policy(config.cleaning_policy),
         background_cleaning=config.background_cleaning,
+        injector=injector,
+        spare_segments=injector.plan.spare_segments if injector else 0,
     )
     capacity_blocks = capacity // block_bytes
     target_live = max(dataset_blocks, int(utilization * capacity_blocks))

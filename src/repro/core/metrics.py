@@ -97,6 +97,72 @@ class ResponseAccumulator:
 
 
 @dataclass(frozen=True, slots=True)
+class ReliabilityStats:
+    """Frozen fault-and-recovery counters for one simulation run.
+
+    Present on a :class:`~repro.core.results.SimulationResult` only when the
+    configuration carries a :class:`~repro.faults.plan.FaultPlan`; all
+    fields are zero when the plan injected nothing.
+    """
+
+    read_retries: int = 0
+    write_retries: int = 0
+    #: operations that failed even after exhausting their retry budget
+    unrecovered_errors: int = 0
+    #: host-side backoff delay added to responses, seconds
+    retry_delay_s: float = 0.0
+    #: segment erases that failed permanently (bad-block events)
+    erase_failures: int = 0
+    #: bad segments transparently remapped onto spares
+    remapped_segments: int = 0
+    #: bad segments retired outright (spares exhausted; capacity shrank)
+    retired_segments: int = 0
+    #: flash-disk sectors retired by failed background erases
+    retired_sectors: int = 0
+    #: spare segments still unused at end of run
+    spares_remaining: int = 0
+    power_losses: int = 0
+    #: device operations that were in flight when power died
+    torn_writes: int = 0
+    #: volatile DRAM-cache blocks dropped across all crashes
+    dropped_cache_blocks: int = 0
+    #: write-back dirty blocks lost with the DRAM cache (data loss)
+    lost_dirty_blocks: int = 0
+    #: battery-backed SRAM blocks replayed to the device on recovery
+    replayed_blocks: int = 0
+    #: total crash-recovery time (scan + replay), seconds
+    recovery_time_s: float = 0.0
+    #: energy spent on recovery scans and replays, Joules
+    recovery_energy_j: float = 0.0
+
+    @property
+    def total_retries(self) -> int:
+        """Read and write retries combined."""
+        return self.read_retries + self.write_retries
+
+    def to_dict(self) -> dict[str, float | int]:
+        """A JSON-serialisable record of the reliability counters."""
+        return {
+            "read_retries": self.read_retries,
+            "write_retries": self.write_retries,
+            "unrecovered_errors": self.unrecovered_errors,
+            "retry_delay_s": self.retry_delay_s,
+            "erase_failures": self.erase_failures,
+            "remapped_segments": self.remapped_segments,
+            "retired_segments": self.retired_segments,
+            "retired_sectors": self.retired_sectors,
+            "spares_remaining": self.spares_remaining,
+            "power_losses": self.power_losses,
+            "torn_writes": self.torn_writes,
+            "dropped_cache_blocks": self.dropped_cache_blocks,
+            "lost_dirty_blocks": self.lost_dirty_blocks,
+            "replayed_blocks": self.replayed_blocks,
+            "recovery_time_s": self.recovery_time_s,
+            "recovery_energy_j": self.recovery_energy_j,
+        }
+
+
+@dataclass(frozen=True, slots=True)
 class ResponseStats:
     """Frozen response-time statistics, reported in the paper's units."""
 

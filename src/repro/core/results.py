@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.config import SimulationConfig
-from repro.core.metrics import ResponseStats
+from repro.core.metrics import ReliabilityStats, ResponseStats
 from repro.flash.wear import WearStats
 
 
@@ -45,6 +45,8 @@ class SimulationResult:
     dram_hit_rate: float | None = None
     #: flash wear summary (flash card only)
     wear: WearStats | None = None
+    #: fault-injection outcome (None when no fault plan was configured)
+    reliability: ReliabilityStats | None = None
     #: extra per-experiment annotations
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -109,6 +111,8 @@ class SimulationResult:
             "device_stats": self.device_stats,
             "dram_hit_rate": self.dram_hit_rate,
         }
+        if self.reliability is not None:
+            record["reliability"] = self.reliability.to_dict()
         if self.wear is not None:
             record["wear"] = {
                 "total_erasures": self.wear.total_erasures,

@@ -15,7 +15,8 @@ from repro.core.hierarchy import StorageHierarchy, build_hierarchy
 from repro.core.metrics import ResponseAccumulator
 from repro.core.results import SimulationResult
 from repro.devices.flashcard import FlashCard
-from repro.errors import SimulationError
+from repro.errors import SimulationError, TraceError
+from repro.faults.injector import FaultInjector
 from repro.traces.filemap import FileMapper
 from repro.traces.record import Operation
 from repro.traces.trace import Trace
@@ -33,11 +34,29 @@ class Simulator:
         mapper = FileMapper(trace.block_size)
         ops = mapper.translate_all(trace)
         dataset_blocks = mapper.high_water_blocks
-        hierarchy = build_hierarchy(config, trace.block_size, max(1, dataset_blocks))
-        return self._execute(trace, ops, hierarchy)
+        plan = config.fault_plan
+        # A plan with every rate zero and no power-loss schedule is treated
+        # exactly like no plan at all: no injector, no extra stats keys, and
+        # bit-identical results (the documented strict no-op guarantee).
+        injector = FaultInjector(plan) if plan is not None and plan.enabled else None
+        hierarchy = build_hierarchy(
+            config, trace.block_size, max(1, dataset_blocks), injector=injector
+        )
+        return self._execute(trace, ops, hierarchy, injector)
 
-    def _execute(self, trace: Trace, ops, hierarchy: StorageHierarchy) -> SimulationResult:
+    def _execute(
+        self,
+        trace: Trace,
+        ops,
+        hierarchy: StorageHierarchy,
+        injector: FaultInjector | None = None,
+    ) -> SimulationResult:
         config = self.config
+        if not ops:
+            raise TraceError(
+                f"trace {trace.name!r} produced no block operations; nothing to "
+                "simulate (check the trace generator and scale parameters)"
+            )
         warm_count = int(len(ops) * config.warm_fraction)
 
         read_acc = ResponseAccumulator()
@@ -55,6 +74,11 @@ class Simulator:
                 n_deletes = 0
             measured = index >= warm_count
 
+            if injector is not None:
+                # Fire every scheduled power loss that precedes this request.
+                while (loss_at := injector.next_power_loss(op.time)) is not None:
+                    hierarchy.crash(loss_at)
+
             if op.op is Operation.READ:
                 response = hierarchy.read(op)
                 if measured:
@@ -71,6 +95,11 @@ class Simulator:
                     n_deletes += 1
             else:  # pragma: no cover - Operation is closed
                 raise SimulationError(f"unknown operation {op.op!r}")
+
+        if injector is not None:
+            # Power losses scheduled after the last request still happen.
+            while (loss_at := injector.next_power_loss(float("inf"))) is not None:
+                hierarchy.crash(loss_at)
 
         end_time = max(trace.duration, hierarchy.latest_time())
         hierarchy.finalize(end_time)
@@ -96,6 +125,7 @@ class Simulator:
             device_stats=device.stats(),
             dram_hit_rate=dram_hit_rate,
             wear=wear,
+            reliability=hierarchy.reliability_snapshot(),
         )
 
 

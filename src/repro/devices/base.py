@@ -100,6 +100,43 @@ class StorageDevice(ABC):
         """
         return True
 
+    def power_cycle(self, at: float) -> None:
+        """Lose power at ``at`` and come back up.
+
+        The default truncates any in-flight operation (the caller counts it
+        as torn) and rolls both clocks back to the cut: the interrupted
+        operation never completes, and recovery I/O starts from ``at``.
+        Its already-charged energy is kept as an (over-)estimate of the
+        partial work.  Subclasses discard whatever volatile work the outage
+        interrupts (cleaning jobs, erase progress, spin state).
+        """
+        self.advance(at)
+        if self.busy_until > at:
+            self.busy_until = at
+        if self.clock > at:
+            self.clock = at
+
+    def recover(self, at: float, duration: float) -> float:
+        """Run the post-crash recovery scan; returns its completion time.
+
+        The scan occupies the device (operations queue behind it) and is
+        charged at active power into a dedicated ``recovery`` bucket.
+        """
+        if duration <= 0:
+            return at
+        self.energy.charge("recovery", self._recovery_power_w(), duration)
+        end = at + duration
+        if end > self.clock:
+            self.clock = end
+        if end > self.busy_until:
+            self.busy_until = end
+        return end
+
+    def _recovery_power_w(self) -> float:
+        """Power drawn by the recovery scan (device active power)."""
+        spec = getattr(self, "spec", None)
+        return spec.active_power_w if spec is not None else 0.0
+
     def finalize(self, until: float) -> None:
         """Close out energy accounting at the end of the simulation."""
         self.advance(max(until, self.clock))

@@ -94,6 +94,14 @@ class MagneticDisk(StorageDevice):
         """Drain write buffers only while the platters are spinning."""
         return self.state is DiskState.SPINNING
 
+    def power_cycle(self, at: float) -> None:
+        """Power loss: the platters emergency-retract and stop; the next
+        access pays a full spin-up."""
+        super().power_cycle(at)
+        self.state = DiskState.SLEEPING
+        self._idle_since = at
+        self._last_file = None
+
     # -- access path ---------------------------------------------------------------
 
     def read(self, at: float, size: int, blocks: Sequence[int], file_id: int) -> float:

@@ -96,6 +96,18 @@ class FlashCacheDevice(StorageDevice):
         # flash absorbs it without waking the disk.
         return True
 
+    def power_cycle(self, at: float) -> None:
+        # Both media lose power; the flash-resident cache map survives in
+        # this model only for blocks already written back — dirty residency
+        # metadata is rebuilt by the recovery scan, so nothing is lost here.
+        self.disk.power_cycle(at)
+        self.flash.power_cycle(at)
+
+    def recover(self, at: float, duration: float) -> float:
+        # The recovery scan reads the flash card's metadata; the disk just
+        # spins up on the next access as usual.
+        return self.flash.recover(at, duration)
+
     # -- cache bookkeeping ----------------------------------------------------------
 
     @property

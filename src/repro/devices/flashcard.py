@@ -64,6 +64,11 @@ class FlashCard(StorageDevice):
             demand when a write finds no erased space.
         reserve_segments: how many erased segments background cleaning tries
             to keep in stock (the paper keeps one).
+        injector: optional fault injector; when present, segment erases may
+            fail permanently (probability scaling with wear) and the card
+            degrades by remapping onto spares, then by shrinking capacity.
+        spare_segments: spare erase units available for bad-block remapping
+            before retirements start costing capacity.
     """
 
     def __init__(
@@ -74,6 +79,8 @@ class FlashCard(StorageDevice):
         policy: CleaningPolicy | None = None,
         background_cleaning: bool = True,
         reserve_segments: int = 1,
+        injector=None,
+        spare_segments: int = 0,
     ) -> None:
         super().__init__(spec.name)
         self.spec = spec
@@ -103,11 +110,16 @@ class FlashCard(StorageDevice):
         self._write_head: Segment | None = None
         self._clean_head: Segment | None = None
         self._job: _CleaningJob | None = None
+        self._injector = injector
+        self.spares_remaining = max(0, spare_segments)
 
         self.segments_cleaned = 0
         self.blocks_copied = 0
         self.stalled_writes = 0
         self.write_stall_s = 0.0
+        self.erase_failures = 0
+        self.remapped_segments = 0
+        self.retired_segments = 0
 
     # -- derived quantities ---------------------------------------------------------
 
@@ -306,12 +318,37 @@ class FlashCard(StorageDevice):
             job.erase_remaining_s -= step
             consumed += step
             if job.erase_remaining_s <= 1e-12:
-                job.victim.erase()
-                self._erased.append(job.victim.index)
-                self.segments_cleaned += 1
+                self._complete_erase(job.victim)
                 self._job = None
 
         return consumed, now + consumed
+
+    def _complete_erase(self, victim: Segment) -> None:
+        """Finish a cleaning job's erase, which may fail permanently.
+
+        A failed erase is a bad-block event: the segment is transparently
+        remapped onto a spare while spares last (the spare arrives erased,
+        so the card's capacity is unchanged), and retired outright once
+        they run out — shrinking effective capacity until writes can no
+        longer find space and :class:`FlashOutOfSpaceError` is raised.
+        """
+        if self._injector is not None and self._injector.erase_failure(
+            victim.erase_count, self.spec.endurance_cycles
+        ):
+            self.erase_failures += 1
+            if self.spares_remaining > 0:
+                self.spares_remaining -= 1
+                self.remapped_segments += 1
+                victim.remap_to_spare()
+                self._erased.append(victim.index)
+                self.segments_cleaned += 1
+            else:
+                victim.retire()
+                self.retired_segments += 1
+            return
+        victim.erase()
+        self._erased.append(victim.index)
+        self.segments_cleaned += 1
 
     def _run_job_to_completion(self, now: float, bucket: str) -> float:
         """Run the current job until its segment is erased (foreground)."""
@@ -406,8 +443,15 @@ class FlashCard(StorageDevice):
         stall_start = now
         while not self._write_head_may_pop(now):
             if self._job is None and not self._start_job(now):
+                detail = ""
+                if self.retired_segments:
+                    detail = (
+                        f" ({self.retired_segments} segments retired as bad "
+                        "blocks and no spares remain)"
+                    )
                 raise FlashOutOfSpaceError(
-                    "write needs an erased segment but nothing can be cleaned"
+                    "write needs an erased segment but nothing can be "
+                    f"cleaned{detail}"
                 )
             now = self._run_job_to_completion(now, "clean")
         self.stalled_writes += 1
@@ -422,6 +466,14 @@ class FlashCard(StorageDevice):
             if index is not None:
                 self.segments[index].invalidate(logical)
 
+    def power_cycle(self, at: float) -> None:
+        """Power loss: flash contents survive, but the in-flight cleaning
+        job is aborted — blocks already copied stay copied (they went to
+        the cleaner head), while the interrupted erase must restart from
+        scratch on the next attempt."""
+        super().power_cycle(at)
+        self._job = None
+
     # -- reporting ---------------------------------------------------------------
 
     def reset_accounting(self) -> None:
@@ -430,6 +482,9 @@ class FlashCard(StorageDevice):
         self.blocks_copied = 0
         self.stalled_writes = 0
         self.write_stall_s = 0.0
+        self.erase_failures = 0
+        self.remapped_segments = 0
+        self.retired_segments = 0
         for segment in self.segments:
             segment.erase_count = 0
 
@@ -445,4 +500,13 @@ class FlashCard(StorageDevice):
                 "erased_segments": self.erased_segment_count,
             }
         )
+        if self._injector is not None:
+            base.update(
+                {
+                    "erase_failures": self.erase_failures,
+                    "remapped_segments": self.remapped_segments,
+                    "retired_segments": self.retired_segments,
+                    "spares_remaining": self.spares_remaining,
+                }
+            )
         return base

@@ -42,6 +42,9 @@ class FlashDisk(StorageDevice):
             device with; must be a multiple of the 512-byte sector.
         async_erase: enable the SDP5A decoupled-erase mode (defaults to the
             spec's capability flag).
+        injector: optional fault injector; background erases may then fail
+            permanently, retiring sectors (the device tracks no per-sector
+            wear, so failures arrive at the plan's flat base rate).
     """
 
     def __init__(
@@ -50,6 +53,7 @@ class FlashDisk(StorageDevice):
         capacity_bytes: int | None = None,
         block_bytes: int = 512,
         async_erase: bool | None = None,
+        injector=None,
     ) -> None:
         super().__init__(spec.name)
         self.spec = spec
@@ -66,6 +70,7 @@ class FlashDisk(StorageDevice):
         )
         n_sectors = self.capacity_bytes // spec.sector_bytes
         self.sector_map = SectorMap(n_sectors)
+        self._injector = injector
         self.pre_erased_sector_writes = 0
         self.coupled_sector_writes = 0
         self.background_erasures = 0
@@ -106,7 +111,12 @@ class FlashDisk(StorageDevice):
             self.energy.charge("erase", self.spec.active_power_w, needed)
             budget -= needed
             self._erase_progress_s = 0.0
-            self.sector_map.erase_one()
+            # The SDP spec sheet quotes no endurance figure; per-sector wear
+            # is untracked, so failures arrive at the plan's flat base rate.
+            if self._injector is not None and self._injector.erase_failure(0, 1):
+                self.sector_map.retire_dirty_one()
+            else:
+                self.sector_map.erase_one()
             self.background_erasures += 1
         if budget > 0:
             self.energy.charge("idle", self.spec.idle_power_w, budget)
@@ -171,6 +181,12 @@ class FlashDisk(StorageDevice):
             + transfer_time(slow_bytes, spec.write_bandwidth_bps)
         )
 
+    def power_cycle(self, at: float) -> None:
+        """Power loss: mappings survive in flash, but partial progress on
+        the sector being erased is lost (the erase restarts)."""
+        super().power_cycle(at)
+        self._erase_progress_s = 0.0
+
     def delete(self, at: float, blocks: Sequence[int]) -> None:
         """Trim: deleted sectors join the dirty queue (async mode) so the
         background eraser can recycle them."""
@@ -199,4 +215,6 @@ class FlashDisk(StorageDevice):
                 "free_sectors": self.sector_map.free_sectors,
             }
         )
+        if self._injector is not None:
+            base["retired_sectors"] = self.sector_map.retired_sectors
         return base

@@ -18,7 +18,7 @@ instantaneous power).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.units import KB, MB, kbps, ms

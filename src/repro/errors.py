@@ -33,5 +33,14 @@ class FlashOutOfSpaceError(DeviceError):
     """
 
 
+class UnrecoverableDeviceError(DeviceError):
+    """An injected fault persisted through the whole retry budget.
+
+    Raised only when the active :class:`~repro.faults.plan.FaultPlan` sets
+    ``fail_fast``; otherwise the loss is counted in the run's
+    :class:`~repro.core.metrics.ReliabilityStats` and simulation continues.
+    """
+
+
 class SimulationError(ReproError):
     """The simulator reached an inconsistent internal state."""

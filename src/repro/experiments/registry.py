@@ -29,6 +29,7 @@ from repro.experiments.exp_ablation_flash_sram import (
 )
 from repro.experiments.exp_ablation_leveling import EXPERIMENT as ABLATION_LEVELING
 from repro.experiments.exp_flashcache import EXPERIMENT as FLASHCACHE
+from repro.experiments.exp_fault_tolerance import EXPERIMENT as FAULT_TOLERANCE
 
 _EXPERIMENTS: dict[str, Experiment] = {
     experiment.experiment_id: experiment
@@ -54,6 +55,7 @@ _EXPERIMENTS: dict[str, Experiment] = {
         ABLATION_FLASH_SRAM,
         ABLATION_LEVELING,
         FLASHCACHE,
+        FAULT_TOLERANCE,
     )
 }
 

@@ -12,22 +12,38 @@ import argparse
 import sys
 from typing import Any
 
+from repro.experiments import traces_cache
 from repro.experiments.base import ExperimentResult
 from repro.experiments.registry import all_experiments, get_experiment
 
 
 def run_experiment(
-    experiment_id: str, scale: float = 1.0, **kwargs: Any
+    experiment_id: str,
+    scale: float = 1.0,
+    seed: int | None = None,
+    **kwargs: Any,
 ) -> ExperimentResult:
-    """Run one experiment by id."""
-    return get_experiment(experiment_id)(scale=scale, **kwargs)
+    """Run one experiment by id.
+
+    ``seed`` retargets the shared trace-generation seed for the duration of
+    the run (restored afterwards), so the same driver can be replayed on a
+    different trace realisation without code changes.
+    """
+    if seed is None:
+        return get_experiment(experiment_id)(scale=scale, **kwargs)
+    previous = traces_cache.default_seed()
+    traces_cache.set_default_seed(seed)
+    try:
+        return get_experiment(experiment_id)(scale=scale, **kwargs)
+    finally:
+        traces_cache.set_default_seed(previous)
 
 
-def run_all(scale: float = 1.0) -> dict[str, ExperimentResult]:
+def run_all(scale: float = 1.0, seed: int | None = None) -> dict[str, ExperimentResult]:
     """Run every registered experiment; returns results keyed by id."""
     return {
-        experiment_id: experiment(scale=scale)
-        for experiment_id, experiment in sorted(all_experiments().items())
+        experiment_id: run_experiment(experiment_id, scale=scale, seed=seed)
+        for experiment_id in sorted(all_experiments())
     }
 
 
@@ -38,6 +54,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--all", action="store_true", help="run everything")
     parser.add_argument("--scale", type=float, default=0.2,
                         help="trace-length scale in (0, 1]")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="trace-generation seed (default: module default)")
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument("--output", help="also write the report to this file")
     args = parser.parse_args(argv)
@@ -53,13 +71,15 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{experiment_id:22s} {experiment.paper_ref:28s} {experiment.title}")
         return 0
     if args.all:
-        for experiment_id, result in run_all(scale=args.scale).items():
+        for experiment_id, result in run_all(scale=args.scale, seed=args.seed).items():
             emit(result.render())
             emit("")
     elif not args.experiment:
         parser.error("give an experiment id, --all, or --list")
     else:
-        emit(run_experiment(args.experiment, scale=args.scale).render())
+        emit(
+            run_experiment(args.experiment, scale=args.scale, seed=args.seed).render()
+        )
     if args.output:
         from pathlib import Path
 

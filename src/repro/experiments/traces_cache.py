@@ -35,9 +35,34 @@ DRAM_BYTES = {
 SYNTH_FULL_OPS = 20_000
 
 
+#: Seed used when ``trace_for`` is called without an explicit one.  The
+#: experiment runner's ``--seed`` flag retargets it so every driver in a
+#: run generates its traces from the same seed without each experiment
+#: having to thread the parameter through.
+_DEFAULT_SEED = 1
+
+
+def set_default_seed(seed: int) -> None:
+    """Set the seed ``trace_for`` uses when none is passed explicitly."""
+    global _DEFAULT_SEED
+    _DEFAULT_SEED = int(seed)
+
+
+def default_seed() -> int:
+    """The current module-wide default trace seed."""
+    return _DEFAULT_SEED
+
+
+def trace_for(name: str, scale: float = 1.0, seed: int | None = None) -> Trace:
+    """The (cached) trace for one of the paper's workloads at ``scale``.
+
+    ``seed=None`` uses the module default (see :func:`set_default_seed`).
+    """
+    return _generate(name, scale, _DEFAULT_SEED if seed is None else seed)
+
+
 @lru_cache(maxsize=32)
-def trace_for(name: str, scale: float = 1.0, seed: int = 1) -> Trace:
-    """The (cached) trace for one of the paper's workloads at ``scale``."""
+def _generate(name: str, scale: float, seed: int) -> Trace:
     if name == "synth":
         n_ops = max(500, int(SYNTH_FULL_OPS * scale))
         return SyntheticWorkload().generate(n_ops=n_ops, seed=seed)

@@ -1,0 +1,15 @@
+"""Fault injection and recovery: transient I/O errors, bad-block growth,
+and power-loss crash recovery (see DESIGN.md, "Fault model & recovery")."""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.recovery import ReliabilityMeter, recovery_scan_s
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "ReliabilityMeter",
+    "RetryPolicy",
+    "recovery_scan_s",
+]

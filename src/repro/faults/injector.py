@@ -1,0 +1,79 @@
+"""Seed-driven fault injection.
+
+One :class:`FaultInjector` accompanies one simulation run.  Every decision
+— does this read attempt fail?  does this erase brick its segment? — is
+drawn from a single private generator seeded by the plan, so a run is a
+pure function of (trace, configuration, plan): same seed, same faults, same
+result, bit for bit.  Rates of zero never touch the generator, which is
+what makes a zero-rate plan a strict no-op.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+
+from repro.faults.plan import FaultPlan
+from repro.flash.wear import erase_failure_probability
+
+
+class FaultInjector:
+    """Draws the fault schedule a :class:`FaultPlan` describes."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self._power_losses: deque[float] = deque(plan.power_loss_times)
+
+    # -- transient I/O errors -----------------------------------------------------
+
+    def _transient_failures(self, rate: float) -> tuple[int, bool]:
+        """How many consecutive attempts fail before one succeeds.
+
+        Returns ``(retries, recovered)``: ``retries`` extra attempts were
+        consumed (bounded by the plan's budget); ``recovered`` is False when
+        even the last allowed attempt failed.
+        """
+        if rate <= 0.0:
+            return 0, True
+        failures = 0
+        while failures <= self.plan.max_retries:
+            if self._rng.random() >= rate:
+                return failures, True
+            failures += 1
+        return self.plan.max_retries, False
+
+    def read_failures(self) -> tuple[int, bool]:
+        """Transient-fault outcome for one device read."""
+        return self._transient_failures(self.plan.transient_read_rate)
+
+    def write_failures(self) -> tuple[int, bool]:
+        """Transient-fault outcome for one device write."""
+        return self._transient_failures(self.plan.transient_write_rate)
+
+    # -- permanent bad blocks -----------------------------------------------------
+
+    def erase_failure(self, erase_count: int, endurance_cycles: int) -> bool:
+        """Does an erase of a segment with ``erase_count`` wear fail for
+        good?  Probability scales with wear toward certainty at the
+        endurance limit (paper section 2)."""
+        probability = erase_failure_probability(
+            erase_count, endurance_cycles, self.plan.bad_block_rate
+        )
+        if probability <= 0.0:
+            return False
+        return self._rng.random() < probability
+
+    # -- power loss ----------------------------------------------------------------
+
+    def next_power_loss(self, now: float) -> float | None:
+        """Pop and return the next scheduled power loss at or before
+        ``now``, or None if none is due."""
+        if self._power_losses and self._power_losses[0] <= now:
+            return self._power_losses.popleft()
+        return None
+
+    @property
+    def pending_power_losses(self) -> int:
+        """Power-loss events not yet delivered."""
+        return len(self._power_losses)

@@ -1,0 +1,49 @@
+"""Bounded retry with exponential backoff.
+
+When a device access hits a transient fault, the host re-issues it after a
+short delay; each further failure doubles the delay.  Both the delay and
+the re-issued operation are charged to the foreground response (and the
+device's energy meter) — retried I/O is the paper's response-time and
+energy story, just on the unlucky path.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class RetryPolicy:
+    """Exponential-backoff retry schedule.
+
+    Args:
+        max_retries: attempts after the first before the operation is
+            declared unrecoverable.
+        backoff_s: delay before the first retry.
+        multiplier: growth factor between consecutive delays.
+    """
+
+    def __init__(
+        self,
+        max_retries: int = 3,
+        backoff_s: float = 0.002,
+        multiplier: float = 2.0,
+    ) -> None:
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if backoff_s < 0:
+            raise ConfigurationError("backoff_s must be >= 0")
+        if multiplier < 1.0:
+            raise ConfigurationError("multiplier must be >= 1")
+        self.max_retries = max_retries
+        self.backoff_s = backoff_s
+        self.multiplier = multiplier
+
+    def backoff(self, attempt: int) -> float:
+        """Delay (seconds) before retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ConfigurationError(f"attempt must be >= 0, got {attempt}")
+        return self.backoff_s * self.multiplier**attempt
+
+    def total_backoff(self, retries: int) -> float:
+        """Summed delay across the first ``retries`` retries."""
+        return sum(self.backoff(attempt) for attempt in range(retries))

@@ -33,8 +33,9 @@ class CleaningPolicy(ABC):
         """Pick the next victim, or ``None`` if nothing is worth cleaning.
 
         ``exclude`` lists segment indices that must not be chosen (the
-        active write/cleaner heads).  Erased segments and segments with no
-        reclaimable (dead or free) space are never useful victims.
+        active write/cleaner heads).  Erased segments, retired (bad)
+        segments, and segments with no reclaimable (dead or free) space are
+        never useful victims.
         """
 
     def _candidates(
@@ -46,6 +47,7 @@ class CleaningPolicy(ABC):
             for segment in segments
             if segment.index not in excluded
             and not segment.is_erased
+            and not segment.retired
             and segment.live_blocks < segment.capacity
         ]
 

@@ -10,7 +10,10 @@ sector and the stale one is queued for background erasure.  ``SectorMap``
 is that indirection table.
 
 Invariant: every physical sector is in exactly one of {free pool, dirty
-queue, mapped}, so ``free + dirty + mapped == n_sectors`` always holds.
+queue, mapped, retired}, so ``free + dirty + mapped + retired == n_sectors``
+always holds.  The retired pool exists for fault injection: a sector whose
+erase fails permanently is mapped out of service (bad-block growth), so the
+device's effective capacity shrinks over its lifetime.
 """
 
 from __future__ import annotations
@@ -37,6 +40,7 @@ class SectorMap:
         self._map: dict[int, int] = {}
         self._free: deque[int] = deque(range(n_sectors))
         self._dirty: deque[int] = deque()
+        self._retired = 0
 
     # -- pool sizes --------------------------------------------------------------
 
@@ -55,14 +59,24 @@ class SectorMap:
         """Sectors holding current (live) data."""
         return len(self._map)
 
+    @property
+    def retired_sectors(self) -> int:
+        """Sectors permanently mapped out after failed erases (bad blocks)."""
+        return self._retired
+
     def check_invariant(self) -> None:
-        """Raise unless free + dirty + mapped equals the sector count."""
-        total = self.free_sectors + self.dirty_sectors + self.mapped_sectors
+        """Raise unless free + dirty + mapped + retired equals the count."""
+        total = (
+            self.free_sectors
+            + self.dirty_sectors
+            + self.mapped_sectors
+            + self.retired_sectors
+        )
         if total != self.n_sectors:
             raise DeviceError(
                 f"sector pools out of balance: free({self.free_sectors}) + "
                 f"dirty({self.dirty_sectors}) + mapped({self.mapped_sectors}) "
-                f"!= {self.n_sectors}"
+                f"+ retired({self.retired_sectors}) != {self.n_sectors}"
             )
 
     def physical_for(self, logical: int) -> int | None:
@@ -129,4 +143,17 @@ class SectorMap:
         if not self._dirty:
             return False
         self._free.append(self._dirty.popleft())
+        return True
+
+    def retire_dirty_one(self) -> bool:
+        """Retire one dirty sector whose erase failed permanently.
+
+        The sector leaves service for good; the device's usable capacity
+        shrinks by one sector.  Returns ``False`` when no dirty sector was
+        pending.
+        """
+        if not self._dirty:
+            return False
+        self._dirty.popleft()
+        self._retired += 1
         return True

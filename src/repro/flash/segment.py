@@ -25,6 +25,8 @@ class Segment:
         erase_count: how many times this segment has been erased (wear).
         last_write_time: simulation time of the most recent allocation,
             used by age-aware cleaning policies.
+        retired: the segment failed to erase and was mapped out of service
+            (bad-block growth); it never holds data again.
     """
 
     __slots__ = (
@@ -35,6 +37,7 @@ class Segment:
         "free_blocks",
         "erase_count",
         "last_write_time",
+        "retired",
     )
 
     def __init__(self, index: int, capacity: int) -> None:
@@ -47,6 +50,7 @@ class Segment:
         self.free_blocks = capacity
         self.erase_count = 0
         self.last_write_time = 0.0
+        self.retired = False
 
     # -- state predicates ---------------------------------------------------
 
@@ -58,7 +62,7 @@ class Segment:
     @property
     def is_erased(self) -> bool:
         """True when every slot is free (the segment is ready for writes)."""
-        return self.free_blocks == self.capacity
+        return self.free_blocks == self.capacity and not self.retired
 
     @property
     def is_full(self) -> bool:
@@ -111,9 +115,37 @@ class Segment:
             raise DeviceError(
                 f"segment {self.index} erased with {len(self.live)} live blocks"
             )
+        if self.retired:
+            raise DeviceError(f"segment {self.index} is retired (bad block)")
         self.dead_blocks = 0
         self.free_blocks = self.capacity
         self.erase_count += 1
+
+    def retire(self) -> None:
+        """Map the segment out of service after a permanent erase failure.
+
+        Only legal once its live data has been copied away (the failed
+        erase happens at the end of a cleaning job, after the copy phase).
+        """
+        if self.live:
+            raise DeviceError(
+                f"segment {self.index} retired with {len(self.live)} live blocks"
+            )
+        self.retired = True
+
+    def remap_to_spare(self) -> None:
+        """Replace the failed physical segment with a fresh spare.
+
+        The logical index keeps working; the spare arrives erased with a
+        zero wear count (it has never been cycled).
+        """
+        if self.live:
+            raise DeviceError(
+                f"segment {self.index} remapped with {len(self.live)} live blocks"
+            )
+        self.dead_blocks = 0
+        self.free_blocks = self.capacity
+        self.erase_count = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

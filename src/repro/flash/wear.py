@@ -49,6 +49,26 @@ class WearStats:
         return self.max_erasures / baseline.max_erasures
 
 
+def erase_failure_probability(
+    erase_count: int,
+    endurance_cycles: int,
+    base_rate: float,
+) -> float:
+    """Probability that the next erase of a segment fails permanently.
+
+    ``base_rate`` is the infant-mortality floor (a fresh segment can still
+    fail); wear raises the probability linearly until it is certain at the
+    manufacturer's endurance limit (paper section 2: erasures per area are
+    guaranteed only up to a bounded cycle count).  A ``base_rate`` of zero
+    disables bad-block growth entirely until the endurance limit itself is
+    reached.
+    """
+    if base_rate <= 0.0 and erase_count < endurance_cycles:
+        return 0.0
+    wear_fraction = erase_count / max(1, endurance_cycles)
+    return min(1.0, base_rate + (1.0 - base_rate) * wear_fraction)
+
+
 def wear_stats(
     segments: Sequence[Segment],
     endurance_cycles: int,

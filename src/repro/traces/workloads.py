@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import math
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import TraceError
 from repro.traces.record import Operation, TraceRecord

@@ -72,6 +72,45 @@ def test_experiment_command(capsys):
     assert "manufacturer specifications" in capsys.readouterr().out
 
 
+def test_experiment_command_accepts_seed(capsys):
+    assert main(["experiment", "table2", "--scale", "1.0", "--seed", "9"]) == 0
+    assert "manufacturer specifications" in capsys.readouterr().out
+
+
+def test_faults_command_reports_reliability(capsys):
+    code = main([
+        "faults", "--workload", "synth", "--ops", "800", "--seed", "3",
+        "--device", "intel-datasheet",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "reliability" in out
+    assert "retries" in out
+    assert "power losses" in out
+    assert "recovery" in out
+
+
+def test_faults_command_is_deterministic(capsys):
+    argv = ["faults", "--workload", "synth", "--ops", "800", "--seed", "5",
+            "--read-error-rate", "0.05", "--write-error-rate", "0.05"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_faults_command_power_loss_flag(capsys):
+    code = main([
+        "faults", "--workload", "synth", "--ops", "800", "--seed", "2",
+        "--device", "cu140-datasheet",
+        "--power-loss-at", "400", "--power-loss-at", "700",
+        "--read-error-rate", "0", "--write-error-rate", "0",
+        "--bad-block-rate", "0",
+    ])
+    assert code == 0
+    assert "power losses" in capsys.readouterr().out
+
+
 def test_simulate_from_trace_file(tmp_path, capsys):
     path = tmp_path / "t.txt"
     main(["generate", "--workload", "synth", "--ops", "300", "-o", str(path)])

@@ -44,6 +44,16 @@ def test_warm_fraction_bounds():
     SimulationConfig(warm_fraction=0.0)
 
 
+def test_warm_fraction_negative_rejected():
+    with pytest.raises(ConfigurationError, match="warm_fraction"):
+        SimulationConfig(warm_fraction=-0.1)
+
+
+def test_warm_fraction_above_one_rejected():
+    with pytest.raises(ConfigurationError, match="warm_fraction"):
+        SimulationConfig(warm_fraction=1.5)
+
+
 def test_negative_spin_down_rejected():
     with pytest.raises(ConfigurationError):
         SimulationConfig(spin_down_timeout_s=-1.0)
@@ -77,3 +87,24 @@ def test_frozen():
     config = SimulationConfig()
     with pytest.raises(AttributeError):
         config.dram_bytes = 0
+
+
+def test_fault_plan_default_none_and_described():
+    config = SimulationConfig()
+    assert config.fault_plan is None
+    assert config.describe()["fault_plan"] is None
+
+
+def test_fault_plan_accepted_and_described():
+    from repro.faults.plan import FaultPlan
+
+    plan = FaultPlan(seed=5, transient_read_rate=0.1)
+    config = SimulationConfig(fault_plan=plan)
+    described = config.describe()["fault_plan"]
+    assert described["seed"] == 5
+    assert described["transient_read_rate"] == 0.1
+
+
+def test_fault_plan_wrong_type_rejected():
+    with pytest.raises(ConfigurationError, match="fault_plan"):
+        SimulationConfig(fault_plan={"seed": 1})

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.experiments import all_experiments, get_experiment, run_experiment
-from repro.experiments.base import Experiment, ExperimentResult, Table
+from repro.experiments.base import ExperimentResult, Table
 
 SMALL = 0.05
 

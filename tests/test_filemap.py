@@ -5,7 +5,6 @@ import pytest
 from repro.errors import TraceError
 from repro.traces.filemap import FileMapper, dataset_blocks, map_trace
 from repro.traces.record import Operation, TraceRecord
-from repro.traces.trace import Trace
 from repro.units import KB
 
 

@@ -5,7 +5,6 @@ import pytest
 from repro.devices.flashcard import FlashCard
 from repro.devices.specs import INTEL_DATASHEET
 from repro.errors import ConfigurationError, FlashOutOfSpaceError
-from repro.flash.cleaner import GreedyPolicy
 from repro.units import KB
 
 SPEC = INTEL_DATASHEET

@@ -13,7 +13,6 @@ from repro.devices.specs import (
 from repro.devices.spindown import NeverSpinDownPolicy
 from repro.fs.compression import (
     DOUBLESPACE,
-    MFFS_COMPRESSION,
     STACKER,
     CompressionModel,
     DataKind,

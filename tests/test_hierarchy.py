@@ -8,7 +8,7 @@ from repro.devices.disk import DiskState, MagneticDisk
 from repro.devices.flashcard import FlashCard
 from repro.devices.flashdisk import FlashDisk
 from repro.traces.record import BlockOp, Operation
-from repro.units import KB, MB
+from repro.units import KB
 
 
 def op(time, kind, blocks, file_id=1, block_bytes=KB):

@@ -4,8 +4,7 @@ import pytest
 
 from repro.core.config import SimulationConfig
 from repro.core.simulator import Simulator, simulate
-from repro.errors import ConfigurationError
-from repro.traces.record import Operation, TraceRecord
+from repro.errors import ConfigurationError, TraceError
 from repro.traces.trace import Trace
 from repro.units import KB
 
@@ -77,10 +76,16 @@ def test_energy_of_component(small_synth_trace):
     assert result.energy_of("nonexistent") == 0.0
 
 
-def test_empty_trace():
-    result = simulate(Trace("empty", [], block_size=KB), SimulationConfig())
-    assert result.n_reads == 0
-    assert result.energy_j == 0.0
+def test_empty_trace_rejected():
+    with pytest.raises(TraceError, match="no block operations"):
+        simulate(Trace("empty", [], block_size=KB), SimulationConfig())
+
+
+def test_empty_trace_rejected_before_building_accounting():
+    # Regression: the old behaviour silently returned an all-zero result,
+    # which downstream analysis divided by — the error must name the trace.
+    with pytest.raises(TraceError, match="oops"):
+        simulate(Trace("oops", [], block_size=KB), SimulationConfig())
 
 
 def test_deterministic(small_synth_trace):

@@ -6,7 +6,6 @@ from repro.errors import TraceError
 from repro.traces.io import load_trace, save_trace
 from repro.traces.record import Operation, TraceRecord
 from repro.traces.trace import Trace
-from repro.units import KB
 
 
 @pytest.fixture

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.flash.segment import Segment
-from repro.flash.wear import WearStats, wear_stats
+from repro.flash.wear import wear_stats
 
 
 def segments_with_erases(counts):
