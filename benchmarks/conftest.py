@@ -5,6 +5,11 @@ simulation/testbed, aggregation) and prints the regenerated table in the
 paper's row format.  Set ``REPRO_BENCH_SCALE`` (0 < scale <= 1, default
 0.2) to trade runtime for fidelity; ``1.0`` reproduces the paper-sized
 runs used for EXPERIMENTS.md.
+
+Drivers execute through the engine's in-process unit executor
+(:func:`repro.engine.run_unit_inline`) — the same serial primitive
+``repro run --jobs 1`` uses — with no result cache, so benchmark timings
+always measure real driver work.
 """
 
 from __future__ import annotations
@@ -19,13 +24,18 @@ BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.2"))
 
 def run_and_report(benchmark, experiment_id: str, scale: float | None = None, **kwargs):
     """Benchmark one experiment driver (single round) and print its report."""
-    from repro.experiments import run_experiment
+    from repro.engine import WorkUnit, freeze_kwargs, run_unit_inline
 
     scale = BENCH_SCALE if scale is None else scale
+    unit = WorkUnit(
+        experiment_id=experiment_id,
+        scale=scale,
+        seed=kwargs.pop("seed", None),
+        kwargs=freeze_kwargs(kwargs),
+    )
     result = benchmark.pedantic(
-        run_experiment,
-        args=(experiment_id,),
-        kwargs={"scale": scale, **kwargs},
+        run_unit_inline,
+        args=(unit,),
         rounds=1,
         iterations=1,
     )

@@ -6,6 +6,8 @@ Commands:
 * ``generate``  — write a synthetic trace to a file
 * ``analyze``   — characterise a trace file (Table 3 stats + locality toolkit)
 * ``experiment``— run a registered experiment driver (same as the runner)
+* ``run``       — parallel, cache-aware experiment runs via the engine
+* ``cache``     — manage the on-disk result cache (stats, clear)
 * ``faults``    — simulate under an injected-fault plan and report reliability
 * ``devices``   — list registered device parameter sets
 * ``experiments`` — list registered experiments
@@ -14,6 +16,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.units import KB, MB
@@ -52,11 +55,62 @@ def _add_analyze(subparsers) -> None:
 
 
 def _add_experiment(subparsers) -> None:
+    from repro.experiments.runner import parse_scale
+
     parser = subparsers.add_parser("experiment", help="run an experiment driver")
     parser.add_argument("experiment_id")
-    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--scale", type=parse_scale, default=0.2,
+                        help="trace-length scale in (0, 1]")
     parser.add_argument("--seed", type=int, default=None,
                         help="trace-generation seed (default: module default)")
+
+
+def _add_run(subparsers) -> None:
+    from repro.experiments.runner import parse_scale
+
+    parser = subparsers.add_parser(
+        "run",
+        help="run experiments through the parallel, cache-aware engine",
+        description="Decompose a run request into independent work units "
+        "(experiment x seed), resolve what it can from the on-disk result "
+        "cache, and fan the rest out over worker processes.  A second "
+        "invocation of the same run is pure cache replay.",
+    )
+    parser.add_argument("experiments", nargs="*", metavar="experiment",
+                        help="experiment ids (default: --all)")
+    parser.add_argument("--all", action="store_true", help="run everything")
+    parser.add_argument("--scale", type=parse_scale, default=0.2,
+                        help="trace-length scale in (0, 1]")
+    parser.add_argument("--seed", type=int, action="append", default=None,
+                        metavar="SEED",
+                        help="trace-generation seed; repeat for a seed sweep "
+                        "(default: module default)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: all CPUs; 1 = "
+                        "in-process, byte-identical to the serial runner)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache root (default: $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute everything; skip the result cache "
+                        "and trace store")
+    parser.add_argument("--manifest", default=None,
+                        help="run-manifest JSONL path (default: "
+                        "<cache-dir>/manifests/run-<timestamp>.jsonl)")
+    parser.add_argument("--output", help="append each finished report to "
+                        "this file (deterministic registry order)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-unit progress lines")
+
+
+def _add_cache(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "cache", help="manage the on-disk result cache"
+    )
+    parser.add_argument("action", choices=("stats", "clear"))
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache root (default: $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro)")
 
 
 def _add_faults(subparsers) -> None:
@@ -95,6 +149,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_generate(subparsers)
     _add_analyze(subparsers)
     _add_experiment(subparsers)
+    _add_run(subparsers)
+    _add_cache(subparsers)
     _add_faults(subparsers)
     subparsers.add_parser("devices", help="list device parameter sets")
     subparsers.add_parser("experiments", help="list experiment drivers")
@@ -201,6 +257,111 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def cmd_run(args) -> int:
+    import time
+
+    from repro.engine import (
+        ResultCache,
+        RunManifest,
+        TraceStore,
+        decompose,
+        default_cache_dir,
+        execute,
+        summarize,
+    )
+    from repro.errors import ConfigurationError
+    from repro.experiments.registry import all_experiments, get_experiment
+
+    if args.all or not args.experiments:
+        experiment_ids = sorted(all_experiments())
+    else:
+        try:
+            for experiment_id in args.experiments:
+                get_experiment(experiment_id)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        experiment_ids = args.experiments
+
+    seeds = tuple(args.seed) if args.seed else (None,)
+    units = decompose(experiment_ids, scale=args.scale, seeds=seeds)
+
+    cache_root = args.cache_dir or default_cache_dir()
+    cache = None if args.no_cache else ResultCache(cache_root)
+    trace_store = None if args.no_cache else TraceStore(cache_root)
+    manifest_path = args.manifest
+    if manifest_path is None:
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        manifest_path = (
+            f"{cache_root}/manifests/run-{stamp}-{os.getpid()}.jsonl"
+        )
+
+    output = None
+    if args.output:
+        os.makedirs(os.path.dirname(os.path.abspath(args.output)), exist_ok=True)
+        output = open(args.output, "w")
+    index_of = {unit: index for index, unit in enumerate(units)}
+    buffered = {}
+    cursor = 0
+    total = len(units)
+
+    def on_progress(done, _total, outcome) -> None:
+        nonlocal cursor
+        if not args.quiet:
+            status = outcome.cache if outcome.ok else "ERROR"
+            print(f"[{done:3d}/{total}] {outcome.unit.label:40s} "
+                  f"{outcome.wall_s:7.2f}s  {status:5s} worker {outcome.worker}")
+        if output is not None:
+            # Flush finished reports in unit order so the stream is
+            # deterministic under --jobs N and a crash keeps the prefix.
+            buffered[index_of[outcome.unit]] = outcome
+            while cursor in buffered:
+                ready = buffered.pop(cursor)
+                cursor += 1
+                if ready.result is not None:
+                    output.write(ready.result.render() + "\n\n")
+                    output.flush()
+
+    started = time.perf_counter()
+    try:
+        with RunManifest(manifest_path) as manifest:
+            outcomes = execute(
+                units,
+                jobs=args.jobs,
+                cache=cache,
+                trace_store=trace_store,
+                manifest=manifest,
+                progress=on_progress,
+            )
+    finally:
+        if output is not None:
+            output.close()
+    wall = time.perf_counter() - started
+
+    counts = summarize(outcomes)
+    print(f"{counts['units']} unit(s): {counts['ok']} ok, "
+          f"{counts['errors']} failed ({counts['hits']} cache hit(s), "
+          f"{counts['misses']} miss(es)) in {wall:.2f}s")
+    print(f"manifest: {manifest_path}")
+    for outcome in outcomes:
+        if not outcome.ok:
+            print(f"\nFAILED {outcome.unit.label}:\n{outcome.error}",
+                  file=sys.stderr)
+    return 0 if counts["errors"] == 0 else 1
+
+
+def cmd_cache(args) -> int:
+    from repro.engine import ResultCache, default_cache_dir
+
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.action == "stats":
+        print(cache.stats().render())
+    else:
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+    return 0
+
+
 def cmd_faults(args) -> int:
     from repro.core.config import SimulationConfig
     from repro.core.simulator import simulate
@@ -287,6 +448,8 @@ _COMMANDS = {
     "generate": cmd_generate,
     "analyze": cmd_analyze,
     "experiment": cmd_experiment,
+    "run": cmd_run,
+    "cache": cmd_cache,
     "faults": cmd_faults,
     "devices": cmd_devices,
     "experiments": cmd_experiments,

@@ -1,0 +1,75 @@
+"""Cache-key construction: content hashes over everything a result
+depends on.
+
+A cached :class:`~repro.experiments.base.ExperimentResult` is only valid
+while the inputs that produced it are unchanged.  The key therefore
+covers:
+
+* the work unit itself (experiment id, scale, seed, driver kwargs);
+* a fingerprint of the device parameter registry — editing any spec in
+  :mod:`repro.devices.specs` changes every simulated number;
+* the package version, as a coarse proxy for "the simulator code
+  changed" (bumped on every released change).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from functools import lru_cache
+from typing import Any
+
+from repro.engine.unit import WorkUnit
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce ``value`` to JSON-stable primitives (tuples become lists)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _canonical(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(key): _canonical(item) for key, item in sorted(value.items())}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return [_canonical(item) for item in items]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _digest(payload: Any) -> str:
+    text = json.dumps(_canonical(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@lru_cache(maxsize=1)
+def device_fingerprint() -> str:
+    """Stable hash of the full device parameter registry."""
+    from repro.devices.specs import DEVICE_SPECS
+
+    return _digest({name: spec for name, spec in DEVICE_SPECS.items()})[:16]
+
+
+def package_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+def cache_key(
+    unit: WorkUnit,
+    *,
+    fingerprint: str | None = None,
+    version: str | None = None,
+) -> str:
+    """Content-addressed key for one work unit's result."""
+    return _digest(
+        {
+            "experiment_id": unit.experiment_id,
+            "scale": unit.scale,
+            "seed": unit.seed,
+            "kwargs": {key: value for key, value in unit.kwargs},
+            "devices": fingerprint if fingerprint is not None else device_fingerprint(),
+            "version": version if version is not None else package_version(),
+        }
+    )

@@ -1,0 +1,112 @@
+"""Run manifests: a JSONL audit trail of one engine run.
+
+The first record describes the run (``"record": "run"`` — jobs, scale,
+seeds, cache/fingerprint provenance); each subsequent record describes one
+completed work unit (``"record": "unit"`` — wall time, cache hit/miss,
+worker pid, outcome).  Records are appended as units finish, so a crashed
+run's manifest still lists everything that completed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, IO
+
+from repro.engine.unit import WorkUnit
+
+#: Fields every unit record carries (tested as the manifest schema).
+UNIT_FIELDS = (
+    "record", "experiment_id", "scale", "seed", "kwargs", "key",
+    "cache", "worker", "wall_s", "outcome", "error",
+)
+
+
+class RunManifest:
+    """Append-only JSONL writer for one engine run."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path).expanduser()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._stream: IO[str] | None = None
+
+    def _write(self, record: dict[str, Any]) -> None:
+        if self._stream is None:
+            self._stream = open(self.path, "a")
+        self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+        self._stream.flush()
+
+    def record_run(
+        self,
+        *,
+        jobs: int,
+        units: int,
+        scale: float,
+        seeds: tuple[int | None, ...],
+        fingerprint: str,
+        version: str,
+        cache_dir: str | None,
+    ) -> None:
+        self._write(
+            {
+                "record": "run",
+                "started": time.time(),
+                "jobs": jobs,
+                "units": units,
+                "scale": scale,
+                "seeds": list(seeds),
+                "fingerprint": fingerprint,
+                "version": version,
+                "cache_dir": cache_dir,
+            }
+        )
+
+    def record_unit(
+        self,
+        unit: WorkUnit,
+        *,
+        key: str,
+        cache: str,
+        worker: int,
+        wall_s: float,
+        outcome: str,
+        error: str | None = None,
+    ) -> None:
+        self._write(
+            {
+                "record": "unit",
+                "experiment_id": unit.experiment_id,
+                "scale": unit.scale,
+                "seed": unit.seed,
+                "kwargs": {name: repr(value) for name, value in unit.kwargs},
+                "key": key,
+                "cache": cache,
+                "worker": worker,
+                "wall_s": round(wall_s, 6),
+                "outcome": outcome,
+                "error": error,
+            }
+        )
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> RunManifest:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_manifest(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a manifest back into its records."""
+    records = []
+    with open(Path(path).expanduser()) as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,154 @@
+"""Content-addressed, on-disk cache of experiment results.
+
+Entries are JSON files under ``<root>/results/<key[:2]>/<key>.json``; the
+key (see :mod:`repro.engine.fingerprint`) covers the work unit, the device
+registry fingerprint, and the package version, so any input change misses
+cleanly and stale entries are simply never read again.  JSON round-trips
+``int``/``float``/``str`` cells exactly, which keeps reports rendered from
+cached results byte-identical to freshly computed ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.base import ExperimentResult, Table
+
+#: Default cache root; override with --cache-dir or $REPRO_CACHE_DIR.
+DEFAULT_CACHE_DIR = "~/.cache/repro"
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)).expanduser()
+
+
+def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
+    """Serialise an :class:`ExperimentResult` to JSON-native structures."""
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "scale": result.scale,
+        "notes": list(result.notes),
+        "charts": list(result.charts),
+        "tables": [
+            {
+                "title": table.title,
+                "headers": list(table.headers),
+                "rows": [list(row) for row in table.rows],
+            }
+            for table in result.tables
+        ],
+    }
+
+
+def result_from_dict(payload: dict[str, Any]) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from :func:`result_to_dict`."""
+    return ExperimentResult(
+        experiment_id=payload["experiment_id"],
+        title=payload["title"],
+        scale=payload["scale"],
+        notes=tuple(payload["notes"]),
+        charts=tuple(payload["charts"]),
+        tables=tuple(
+            Table(
+                title=table["title"],
+                headers=tuple(table["headers"]),
+                rows=tuple(tuple(row) for row in table["rows"]),
+            )
+            for table in payload["tables"]
+        ),
+    )
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Summary returned by ``repro cache stats``."""
+
+    root: Path
+    entries: int
+    total_bytes: int
+    experiments: dict[str, int]
+
+    def render(self) -> str:
+        lines = [
+            f"cache root   {self.root}",
+            f"entries      {self.entries}",
+            f"size         {self.total_bytes / 1024:.1f} KB",
+        ]
+        if self.experiments:
+            lines.append("per experiment")
+            for experiment_id, count in sorted(self.experiments.items()):
+                lines.append(f"  {experiment_id:22s} {count}")
+        return "\n".join(lines)
+
+
+class ResultCache:
+    """Persist experiment results keyed by content hash."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root).expanduser() if root is not None else default_cache_dir()
+
+    @property
+    def results_dir(self) -> Path:
+        return self.root / "results"
+
+    def _path(self, key: str) -> Path:
+        return self.results_dir / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> ExperimentResult | None:
+        """The cached result for ``key``, or None on a miss (including
+        unreadable/corrupt entries, which behave as misses)."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            return result_from_dict(payload["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key: str, result: ExperimentResult, meta: dict[str, Any] | None = None) -> Path:
+        """Store ``result`` under ``key`` (atomic rename; last writer wins)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": key,
+            "created": time.time(),
+            "meta": meta or {},
+            "result": result_to_dict(result),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+        return path
+
+    def stats(self) -> CacheStats:
+        entries = 0
+        total_bytes = 0
+        experiments: dict[str, int] = {}
+        if self.results_dir.is_dir():
+            for path in self.results_dir.glob("*/*.json"):
+                entries += 1
+                total_bytes += path.stat().st_size
+                try:
+                    experiment_id = json.loads(path.read_text())["result"]["experiment_id"]
+                except (OSError, ValueError, KeyError, TypeError):
+                    experiment_id = "<corrupt>"
+                experiments[experiment_id] = experiments.get(experiment_id, 0) + 1
+        return CacheStats(
+            root=self.root,
+            entries=entries,
+            total_bytes=total_bytes,
+            experiments=experiments,
+        )
+
+    def clear(self) -> int:
+        """Delete every cached result; returns how many were removed."""
+        removed = self.stats().entries
+        if self.results_dir.is_dir():
+            shutil.rmtree(self.results_dir)
+        return removed

@@ -1,0 +1,257 @@
+"""The execution scheduler: fan work units out over worker processes.
+
+Design:
+
+* **Decomposition** happens upstream (:func:`repro.engine.unit.decompose`);
+  the scheduler receives a flat list of independent units.
+* **Cache first.**  Every unit's content-addressed key is checked against
+  the :class:`~repro.engine.result_cache.ResultCache` in the parent before
+  any worker spawns — re-runs and crashed-run resumes are pure cache
+  replay.
+* **Explicit seeds.**  Workers receive each unit's (scale, seed) in the
+  unit itself and thread them through
+  :func:`~repro.experiments.runner.run_experiment`; nothing mutates the
+  process-global default seed, so results are independent of scheduling
+  order and process boundaries.
+* **jobs=1 runs in-process** — no pool, no pickling — and therefore
+  produces reports byte-identical to the historical serial runner.
+* **Failures are contained.**  A unit that raises is recorded in the
+  manifest and reported in its outcome; completed units still land in the
+  cache, so the next invocation resumes instead of starting over.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.engine.fingerprint import cache_key, device_fingerprint, package_version
+from repro.engine.manifest import RunManifest
+from repro.engine.result_cache import ResultCache
+from repro.engine.trace_store import TraceStore
+from repro.engine.unit import WorkUnit
+from repro.errors import ReproError
+from repro.experiments.base import ExperimentResult
+
+#: The four workloads every driver draws from; prewarmed into the trace
+#: store so workers load rather than regenerate.
+STANDARD_TRACES = ("mac", "dos", "hp", "synth")
+
+ProgressCallback = Callable[[int, int, "UnitOutcome"], None]
+
+
+class EngineError(ReproError):
+    """A work unit failed inside the execution engine."""
+
+
+@dataclass(frozen=True)
+class UnitOutcome:
+    """What happened to one work unit."""
+
+    unit: WorkUnit
+    key: str
+    result: ExperimentResult | None
+    cache: str  # "hit" | "miss" | "off"
+    worker: int
+    wall_s: float
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def run_unit_inline(unit: WorkUnit) -> ExperimentResult:
+    """Execute one unit in the current process (no cache, no pool).
+
+    This is the engine's serial primitive: exactly the historical
+    ``run_experiment`` call, with the unit's seed threaded explicitly.
+    The benchmark harness times drivers through this path.
+    """
+    from repro.experiments.runner import run_experiment
+
+    return run_experiment(
+        unit.experiment_id,
+        scale=unit.scale,
+        seed=unit.seed,
+        **unit.kwargs_dict(),
+    )
+
+
+# -- worker-process entry points (module-level for picklability) -----------
+
+def _worker_init(store_root: str | None) -> None:
+    if store_root is not None:
+        from repro.experiments import traces_cache
+
+        traces_cache.configure_trace_store(TraceStore(store_root))
+
+
+def _worker_run(unit: WorkUnit) -> tuple[int, float, ExperimentResult | None, str | None]:
+    start = time.perf_counter()
+    try:
+        result = run_unit_inline(unit)
+        return os.getpid(), time.perf_counter() - start, result, None
+    except Exception:
+        return os.getpid(), time.perf_counter() - start, None, traceback.format_exc()
+
+
+def _distinct_trace_requests(units: Sequence[WorkUnit]) -> set[tuple[float, int]]:
+    from repro.experiments import traces_cache
+
+    default = traces_cache.default_seed()
+    return {
+        (unit.scale, default if unit.seed is None else unit.seed)
+        for unit in units
+    }
+
+
+def execute(
+    units: Sequence[WorkUnit],
+    *,
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+    trace_store: TraceStore | None = None,
+    manifest: RunManifest | None = None,
+    progress: ProgressCallback | None = None,
+) -> list[UnitOutcome]:
+    """Run every unit; returns one :class:`UnitOutcome` per unit, in the
+    input order.  Never raises for a unit failure — inspect ``.error``
+    (or use :func:`raise_on_errors`)."""
+    jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+    if jobs < 1:
+        raise EngineError(f"jobs must be >= 1, got {jobs}")
+    fingerprint = device_fingerprint()
+    version = package_version()
+    total = len(units)
+    done = 0
+    outcomes: dict[int, UnitOutcome] = {}
+
+    if manifest is not None:
+        manifest.record_run(
+            jobs=jobs,
+            units=total,
+            scale=units[0].scale if units else 0.0,
+            seeds=tuple(sorted({unit.seed for unit in units},
+                               key=lambda s: (s is not None, s))),
+            fingerprint=fingerprint,
+            version=version,
+            cache_dir=str(cache.root) if cache is not None else None,
+        )
+
+    def finish(index: int, outcome: UnitOutcome) -> None:
+        nonlocal done
+        outcomes[index] = outcome
+        done += 1
+        if manifest is not None:
+            manifest.record_unit(
+                outcome.unit,
+                key=outcome.key,
+                cache=outcome.cache,
+                worker=outcome.worker,
+                wall_s=outcome.wall_s,
+                outcome="ok" if outcome.ok else "error",
+                error=outcome.error,
+            )
+        if progress is not None:
+            progress(done, total, outcome)
+
+    # Resolve cache hits in the parent before spawning anything.
+    pending: list[tuple[int, WorkUnit, str]] = []
+    for index, unit in enumerate(units):
+        key = cache_key(unit, fingerprint=fingerprint, version=version)
+        cached = cache.get(key) if cache is not None else None
+        if cached is not None:
+            finish(index, UnitOutcome(
+                unit=unit, key=key, result=cached, cache="hit",
+                worker=os.getpid(), wall_s=0.0,
+            ))
+        else:
+            pending.append((index, unit, key))
+
+    if pending and trace_store is not None:
+        for scale, seed in sorted(_distinct_trace_requests([u for _, u, _ in pending])):
+            trace_store.prewarm(STANDARD_TRACES, scale, seed)
+
+    cache_state = "miss" if cache is not None else "off"
+
+    def record_miss(index: int, unit: WorkUnit, key: str, worker: int,
+                    wall_s: float, result: ExperimentResult | None,
+                    error: str | None) -> None:
+        if result is not None and cache is not None:
+            cache.put(key, result, meta={
+                "experiment_id": unit.experiment_id,
+                "scale": unit.scale,
+                "seed": unit.seed,
+                "fingerprint": fingerprint,
+                "version": version,
+            })
+        finish(index, UnitOutcome(
+            unit=unit, key=key, result=result, cache=cache_state,
+            worker=worker, wall_s=wall_s, error=error,
+        ))
+
+    if jobs == 1:
+        # In-process serial path: byte-identical to the historical runner.
+        for index, unit, key in pending:
+            start = time.perf_counter()
+            try:
+                result = run_unit_inline(unit)
+                error = None
+            except Exception:
+                result = None
+                error = traceback.format_exc()
+            record_miss(index, unit, key, os.getpid(),
+                        time.perf_counter() - start, result, error)
+    elif pending:
+        store_root = str(trace_store.root) if trace_store is not None else None
+        with ProcessPoolExecutor(
+            max_workers=min(jobs, len(pending)),
+            initializer=_worker_init,
+            initargs=(store_root,),
+        ) as pool:
+            futures = {
+                pool.submit(_worker_run, unit): (index, unit, key)
+                for index, unit, key in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in finished:
+                    index, unit, key = futures[future]
+                    try:
+                        worker, wall_s, result, error = future.result()
+                    except Exception:  # pool breakage (e.g. worker killed)
+                        worker, wall_s, result = os.getpid(), 0.0, None
+                        error = traceback.format_exc()
+                    record_miss(index, unit, key, worker, wall_s, result, error)
+
+    return [outcomes[index] for index in range(total)]
+
+
+def raise_on_errors(outcomes: Sequence[UnitOutcome]) -> None:
+    """Raise :class:`EngineError` summarising any failed outcomes."""
+    failed = [outcome for outcome in outcomes if not outcome.ok]
+    if failed:
+        details = "\n\n".join(
+            f"{outcome.unit.label}:\n{outcome.error}" for outcome in failed
+        )
+        raise EngineError(
+            f"{len(failed)} of {len(outcomes)} work unit(s) failed:\n{details}"
+        )
+
+
+def summarize(outcomes: Sequence[UnitOutcome]) -> dict[str, Any]:
+    """Aggregate counts for progress footers and tests."""
+    return {
+        "units": len(outcomes),
+        "ok": sum(outcome.ok for outcome in outcomes),
+        "errors": sum(not outcome.ok for outcome in outcomes),
+        "hits": sum(outcome.cache == "hit" for outcome in outcomes),
+        "misses": sum(outcome.cache == "miss" for outcome in outcomes),
+        "wall_s": sum(outcome.wall_s for outcome in outcomes),
+    }

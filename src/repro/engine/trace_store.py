@@ -1,0 +1,67 @@
+"""Shared on-disk trace store.
+
+Trace generation is deterministic on (workload name, scale, seed) but not
+free; without sharing, every worker process regenerates every trace it
+needs.  The store serialises each generated :class:`~repro.traces.trace.Trace`
+once (gzipped pickle — pickle, not the text format, so floating-point
+times round-trip exactly) and lets other processes load it.
+
+The store is write-through and race-tolerant: if two workers generate the
+same trace concurrently, both produce identical bytes and the atomic
+rename means the last writer wins harmlessly.  It plugs into
+:mod:`repro.experiments.traces_cache` via
+:func:`~repro.experiments.traces_cache.configure_trace_store`, so
+experiment drivers need no changes to benefit.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+import pickle
+from pathlib import Path
+
+from repro.traces.trace import Trace
+
+
+class TraceStore:
+    """Persist generated traces keyed by (name, scale, seed)."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root).expanduser()
+
+    def path_for(self, name: str, scale: float, seed: int) -> Path:
+        return self.root / "traces" / f"{name}-s{scale:g}-r{seed}.pkl.gz"
+
+    def load(self, name: str, scale: float, seed: int) -> Trace | None:
+        """The stored trace, or None if absent/unreadable (treat as miss)."""
+        path = self.path_for(name, scale, seed)
+        try:
+            with gzip.open(path, "rb") as stream:
+                trace = pickle.load(stream)
+        except (OSError, EOFError, pickle.UnpicklingError):
+            return None
+        return trace if isinstance(trace, Trace) else None
+
+    def save(self, trace: Trace, name: str, scale: float, seed: int) -> Path:
+        path = self.path_for(name, scale, seed)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with gzip.open(tmp, "wb") as stream:
+            pickle.dump(trace, stream, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        return path
+
+    def prewarm(self, names: tuple[str, ...], scale: float, seed: int) -> int:
+        """Generate-and-store each named workload once (in this process)
+        so workers start with a fully populated store.  Returns how many
+        traces were newly generated."""
+        from repro.experiments import traces_cache
+
+        generated = 0
+        for name in names:
+            if self.load(name, scale, seed) is None:
+                self.save(traces_cache.trace_for(name, scale, seed=seed),
+                          name, scale, seed)
+                generated += 1
+        return generated

@@ -1,0 +1,97 @@
+"""Work units: the engine's unit of schedulable work.
+
+A :class:`WorkUnit` names one experiment driver invocation — (experiment
+id, scale, seed, extra driver kwargs).  Units are frozen and hashable so
+they can key caches, cross process boundaries, and appear verbatim in run
+manifests.  :func:`decompose` turns a run request (a list of experiment
+ids and an optional seed sweep) into the flat unit list the scheduler
+fans out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+KwargItems = tuple[tuple[str, Any], ...]
+
+
+def freeze_kwargs(kwargs: dict[str, Any] | None) -> KwargItems:
+    """Canonicalise driver kwargs into a sorted, hashable item tuple."""
+    if not kwargs:
+        return ()
+    frozen = []
+    for key in sorted(kwargs):
+        value = kwargs[key]
+        if isinstance(value, list):
+            value = tuple(value)
+        frozen.append((key, value))
+    return tuple(frozen)
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One independent experiment invocation.
+
+    ``seed=None`` means "the module-default trace seed" (currently 1); the
+    engine records the effective value in the manifest so a run is fully
+    reconstructable from its manifest alone.
+    """
+
+    experiment_id: str
+    scale: float = 1.0
+    seed: int | None = None
+    kwargs: KwargItems = field(default=())
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.scale <= 1.0:
+            raise ConfigurationError(
+                f"scale must be in (0, 1], got {self.scale}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Short human-readable unit id for progress lines and manifests."""
+        parts = [self.experiment_id, f"s={self.scale:g}"]
+        if self.seed is not None:
+            parts.append(f"seed={self.seed}")
+        parts.extend(f"{key}={value!r}" for key, value in self.kwargs)
+        return " ".join(parts)
+
+    def kwargs_dict(self) -> dict[str, Any]:
+        return dict(self.kwargs)
+
+
+def decompose(
+    experiment_ids: Iterable[str],
+    *,
+    scale: float = 1.0,
+    seeds: Sequence[int | None] = (None,),
+    kwargs: dict[str, Any] | None = None,
+) -> list[WorkUnit]:
+    """Flatten a run request into independent work units.
+
+    The cross product of ``experiment_ids`` x ``seeds`` — the seed axis is
+    how sweep-style runs (endurance curves, robustness checks over trace
+    realisations) decompose.  Duplicate units are dropped while preserving
+    first-occurrence order.
+    """
+    if not seeds:
+        seeds = (None,)
+    frozen = freeze_kwargs(kwargs)
+    units: list[WorkUnit] = []
+    seen: set[WorkUnit] = set()
+    for experiment_id in experiment_ids:
+        for seed in seeds:
+            unit = WorkUnit(
+                experiment_id=experiment_id,
+                scale=scale,
+                seed=seed,
+                kwargs=frozen,
+            )
+            if unit not in seen:
+                seen.add(unit)
+                units.append(unit)
+    return units

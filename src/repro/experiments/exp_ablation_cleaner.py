@@ -18,11 +18,11 @@ POLICIES = ("greedy", "cost-benefit", "envy")
 
 
 def run(scale: float = 1.0, traces: tuple[str, ...] = ("mac", "hp"),
-        utilization: float = 0.90) -> ExperimentResult:
+        utilization: float = 0.90, seed: int | None = None) -> ExperimentResult:
     """Compare cleaning policies on the Intel card at high utilization."""
     rows = []
     for trace_name in traces:
-        trace = trace_for(trace_name, scale)
+        trace = trace_for(trace_name, scale, seed=seed)
         for policy in POLICIES:
             config = SimulationConfig(
                 device="intel-datasheet",

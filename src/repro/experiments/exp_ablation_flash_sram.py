@@ -18,11 +18,12 @@ from repro.units import KB
 DEVICES = ("sdp5-datasheet", "intel-datasheet")
 
 
-def run(scale: float = 1.0, traces: tuple[str, ...] = ("mac", "dos")) -> ExperimentResult:
+def run(scale: float = 1.0, traces: tuple[str, ...] = ("mac", "dos"),
+        seed: int | None = None) -> ExperimentResult:
     """Flash with and without a 32 KB battery-backed write buffer."""
     rows = []
     for trace_name in traces:
-        trace = trace_for(trace_name, scale)
+        trace = trace_for(trace_name, scale, seed=seed)
         for device in DEVICES:
             results = {}
             for with_sram in (False, True):

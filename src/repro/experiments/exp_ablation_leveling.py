@@ -20,9 +20,9 @@ POLICIES = ("greedy", "wear-aware", "cold-swap")
 
 
 def run(scale: float = 1.0, trace_name: str = "mac",
-        utilization: float = 0.90) -> ExperimentResult:
+        utilization: float = 0.90, seed: int | None = None) -> ExperimentResult:
     """Compare leveling policies on the Intel card."""
-    trace = trace_for(trace_name, scale)
+    trace = trace_for(trace_name, scale, seed=seed)
     rows = []
     for policy in POLICIES:
         config = SimulationConfig(

@@ -20,9 +20,9 @@ SEGMENT_SIZES = (16 * KB, 32 * KB, 64 * KB, 128 * KB, 256 * KB)
 
 
 def run(scale: float = 1.0, trace_name: str = "mac",
-        utilization: float = 0.90) -> ExperimentResult:
+        utilization: float = 0.90, seed: int | None = None) -> ExperimentResult:
     """Sweep the erasure-unit size on the Intel card."""
-    trace = trace_for(trace_name, scale)
+    trace = trace_for(trace_name, scale, seed=seed)
     rows = []
     for segment in SEGMENT_SIZES:
         config = SimulationConfig(

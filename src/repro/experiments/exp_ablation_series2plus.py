@@ -19,11 +19,11 @@ DEVICES = ("intel-datasheet", "intel-series2plus")
 
 
 def run(scale: float = 1.0, traces: tuple[str, ...] = ("hp", "mac"),
-        utilization: float = 0.90) -> ExperimentResult:
+        utilization: float = 0.90, seed: int | None = None) -> ExperimentResult:
     """Series 2 vs Series 2+ at high utilization."""
     rows = []
     for trace_name in traces:
-        trace = trace_for(trace_name, scale)
+        trace = trace_for(trace_name, scale, seed=seed)
         for device in DEVICES:
             config = SimulationConfig(
                 device=device,

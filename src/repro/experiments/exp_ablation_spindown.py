@@ -17,9 +17,10 @@ from repro.experiments.traces_cache import dram_for, trace_for
 THRESHOLDS = (0.5, 1.0, 2.0, 5.0, 10.0, 30.0, None)
 
 
-def run(scale: float = 1.0, trace_name: str = "mac") -> ExperimentResult:
+def run(scale: float = 1.0, trace_name: str = "mac",
+        seed: int | None = None) -> ExperimentResult:
     """Sweep the fixed spin-down threshold on the CU140."""
-    trace = trace_for(trace_name, scale)
+    trace = trace_for(trace_name, scale, seed=seed)
     rows = []
     for threshold in THRESHOLDS:
         config = SimulationConfig(

@@ -16,11 +16,12 @@ from repro.experiments.traces_cache import dram_for, trace_for
 DEVICES = ("cu140-datasheet", "intel-datasheet")
 
 
-def run(scale: float = 1.0, traces: tuple[str, ...] = ("mac", "dos")) -> ExperimentResult:
+def run(scale: float = 1.0, traces: tuple[str, ...] = ("mac", "dos"),
+        seed: int | None = None) -> ExperimentResult:
     """Compare write-through and write-back caches per device and trace."""
     rows = []
     for trace_name in traces:
-        trace = trace_for(trace_name, scale)
+        trace = trace_for(trace_name, scale, seed=seed)
         for device in DEVICES:
             results = {}
             for write_back in (False, True):

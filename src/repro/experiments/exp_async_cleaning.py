@@ -15,12 +15,13 @@ from repro.experiments.base import Experiment, ExperimentResult, Table
 from repro.experiments.traces_cache import dram_for, trace_for
 
 
-def run(scale: float = 1.0, traces: tuple[str, ...] = ("mac", "dos", "hp")) -> ExperimentResult:
+def run(scale: float = 1.0, traces: tuple[str, ...] = ("mac", "dos", "hp"),
+        seed: int | None = None) -> ExperimentResult:
     """Compare the SDP5 (coupled erase+write) with the SDP5A (asynchronous
     pre-erasure) on each trace."""
     rows = []
     for trace_name in traces:
-        trace = trace_for(trace_name, scale)
+        trace = trace_for(trace_name, scale, seed=seed)
         results = {}
         for device in ("sdp5-datasheet", "sdp5a-datasheet"):
             config = SimulationConfig(

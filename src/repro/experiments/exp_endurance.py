@@ -20,12 +20,13 @@ LOW_UTILIZATION = 0.40
 HIGH_UTILIZATION = 0.95
 
 
-def run(scale: float = 1.0, traces: tuple[str, ...] = ("mac", "hp")) -> ExperimentResult:
+def run(scale: float = 1.0, traces: tuple[str, ...] = ("mac", "hp"),
+        seed: int | None = None) -> ExperimentResult:
     """Compare wear at 40% vs 95% utilization."""
     segment_bytes = 128 * 1024
     rows = []
     for trace_name in traces:
-        trace = trace_for(trace_name, scale)
+        trace = trace_for(trace_name, scale, seed=seed)
         capacity = fixed_capacity_bytes(trace, segment_bytes, LOW_UTILIZATION)
         results = {}
         for utilization in (LOW_UTILIZATION, HIGH_UTILIZATION):

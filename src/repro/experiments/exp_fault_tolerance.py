@@ -56,11 +56,16 @@ def fault_plan_for(trace, seed: int = 0) -> FaultPlan:
 def run(
     scale: float = 1.0,
     trace_name: str = "synth",
-    seed: int = 0,
+    seed: int | None = None,
 ) -> ExperimentResult:
-    """Compare the storage alternatives under one deterministic fault plan."""
-    trace = trace_for(trace_name, scale)
-    plan = fault_plan_for(trace, seed=seed)
+    """Compare the storage alternatives under one deterministic fault plan.
+
+    ``seed`` retargets both the trace realisation and the fault schedule
+    (``None`` keeps the published defaults: trace seed 1, plan seed 0).
+    """
+    trace = trace_for(trace_name, scale, seed=seed)
+    plan_seed = 0 if seed is None else seed
+    plan = fault_plan_for(trace, seed=plan_seed)
     dram_bytes = dram_for(trace_name)
 
     rows = []
@@ -116,7 +121,7 @@ def run(
 
     growth_rows = []
     for rate in (0.0, 0.001, 0.005, 0.05):
-        plan_rate = FaultPlan(seed=seed, bad_block_rate=rate, spare_segments=2)
+        plan_rate = FaultPlan(seed=plan_seed, bad_block_rate=rate, spare_segments=2)
         config = SimulationConfig(
             device="intel-datasheet", dram_bytes=dram_bytes, fault_plan=plan_rate
         )

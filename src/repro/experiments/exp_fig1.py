@@ -23,8 +23,12 @@ CURVES = (
 )
 
 
-def run(scale: float = 1.0) -> ExperimentResult:
-    """Regenerate both Figure 1 panels as tables of series points."""
+def run(scale: float = 1.0, seed: int | None = None) -> ExperimentResult:
+    """Regenerate both Figure 1 panels as tables of series points.
+
+    ``seed`` is accepted for engine uniformity; the testbed
+    micro-benchmarks are deterministic and use no generated trace.
+    """
     file_bytes = max(128 * 1024, int(1 * MB * scale))
     latency_rows = []
     throughput_rows = []

@@ -42,12 +42,13 @@ def fixed_capacity_bytes(
     return int(math.ceil(needed / segment_bytes)) * segment_bytes
 
 
-def run(scale: float = 1.0, traces: tuple[str, ...] = ("mac", "dos", "hp")) -> ExperimentResult:
+def run(scale: float = 1.0, traces: tuple[str, ...] = ("mac", "dos", "hp"),
+        seed: int | None = None) -> ExperimentResult:
     """Regenerate both Figure 2 panels."""
     segment_bytes = 128 * 1024
     rows = []
     for trace_name in traces:
-        trace = trace_for(trace_name, scale)
+        trace = trace_for(trace_name, scale, seed=seed)
         capacity = fixed_capacity_bytes(trace, segment_bytes, UTILIZATIONS[0])
         baseline_energy = None
         baseline_write = None

@@ -17,8 +17,12 @@ from repro.units import MB
 LIVE_DATA_MB = (1.0, 9.0, 9.5)
 
 
-def run(scale: float = 1.0) -> ExperimentResult:
-    """Regenerate the Figure 3 series."""
+def run(scale: float = 1.0, seed: int | None = None) -> ExperimentResult:
+    """Regenerate the Figure 3 series.
+
+    ``seed`` is accepted for engine uniformity; the testbed model uses
+    its own fixed seed so the figure is reproducible as published.
+    """
     n_megabytes = max(4, int(20 * scale))
     rows = []
     finals = []

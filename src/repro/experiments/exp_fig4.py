@@ -32,9 +32,9 @@ DRAM_POINTS = (0, 512 * KB, 1 * MB, 2 * MB, 3 * MB, 4 * MB)
 FLASH_HEADROOM = (0.0625, 0.094, 0.125, 0.156, 0.1875)
 
 
-def run(scale: float = 1.0) -> ExperimentResult:
+def run(scale: float = 1.0, seed: int | None = None) -> ExperimentResult:
     """Regenerate both Figure 4 panels for the dos trace."""
-    trace = trace_for("dos", scale)
+    trace = trace_for("dos", scale, seed=seed)
     segment = 128 * KB
     dataset = dataset_blocks(trace) * trace.block_size
 

@@ -20,11 +20,12 @@ from repro.units import KB
 SRAM_POINTS = (0, 32 * KB, 512 * KB, 1024 * KB)
 
 
-def run(scale: float = 1.0, traces: tuple[str, ...] = ("mac", "dos", "hp")) -> ExperimentResult:
+def run(scale: float = 1.0, traces: tuple[str, ...] = ("mac", "dos", "hp"),
+        seed: int | None = None) -> ExperimentResult:
     """Regenerate both Figure 5 panels (values normalized to no-SRAM)."""
     rows = []
     for trace_name in traces:
-        trace = trace_for(trace_name, scale)
+        trace = trace_for(trace_name, scale, seed=seed)
         baseline_energy = None
         baseline_write = None
         for sram in SRAM_POINTS:

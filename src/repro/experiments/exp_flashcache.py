@@ -29,11 +29,12 @@ from repro.units import MB
 CACHE_SIZES = (0, 4 * MB, 8 * MB)
 
 
-def run(scale: float = 1.0, traces: tuple[str, ...] = ("synth", "mac")) -> ExperimentResult:
+def run(scale: float = 1.0, traces: tuple[str, ...] = ("synth", "mac"),
+        seed: int | None = None) -> ExperimentResult:
     """Plain CU140 vs flash-cached CU140 across cache sizes."""
     rows = []
     for trace_name in traces:
-        trace = trace_for(trace_name, scale)
+        trace = trace_for(trace_name, scale, seed=seed)
         dram = 0 if trace_name == "synth" else dram_for(trace_name)
         baseline_energy = None
         for cache_bytes in CACHE_SIZES:

@@ -16,14 +16,15 @@ from repro.experiments.base import Experiment, ExperimentResult, Table
 from repro.experiments.exp_table4 import simulate_row
 
 
-def run(scale: float = 1.0, traces: tuple[str, ...] = ("mac", "dos", "hp")) -> ExperimentResult:
+def run(scale: float = 1.0, traces: tuple[str, ...] = ("mac", "dos", "hp"),
+        seed: int | None = None) -> ExperimentResult:
     """Derive the section 7 claims from fresh Table 4 runs."""
     comparison_rows = []
     battery_rows = []
     for trace_name in traces:
-        disk = simulate_row(trace_name, "cu140-datasheet", scale)
-        flash_disk = simulate_row(trace_name, "sdp5-datasheet", scale)
-        card = simulate_row(trace_name, "intel-datasheet", scale)
+        disk = simulate_row(trace_name, "cu140-datasheet", scale, seed=seed)
+        flash_disk = simulate_row(trace_name, "sdp5-datasheet", scale, seed=seed)
+        card = simulate_row(trace_name, "intel-datasheet", scale, seed=seed)
 
         def saving(alternative) -> float:
             return 1.0 - alternative.energy_j / disk.energy_j

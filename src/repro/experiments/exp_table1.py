@@ -38,8 +38,12 @@ def _measure(setup: StorageSetup, operation: str, file_bytes: int,
     return benchmark.throughput_kbps
 
 
-def run(scale: float = 1.0) -> ExperimentResult:
-    """Regenerate Table 1 from the testbed model."""
+def run(scale: float = 1.0, seed: int | None = None) -> ExperimentResult:
+    """Regenerate Table 1 from the testbed model.
+
+    ``seed`` is accepted for engine uniformity; the testbed
+    micro-benchmarks are deterministic and use no generated trace.
+    """
     total = max(256 * KB, int(1 * MB * scale))
     rows = []
     for device, (plain_setup, compressed_setup) in _SETUPS.items():

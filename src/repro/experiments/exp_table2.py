@@ -27,8 +27,12 @@ PAPER_TABLE2 = {
 }
 
 
-def run(scale: float = 1.0) -> ExperimentResult:
-    """Render the registry's Table 2 rows beside the paper's values."""
+def run(scale: float = 1.0, seed: int | None = None) -> ExperimentResult:
+    """Render the registry's Table 2 rows beside the paper's values.
+
+    ``seed`` is accepted for engine uniformity; this table is computed
+    from the static device registry and uses no generated trace.
+    """
     disk = CU140_DATASHEET
     flash_disk = SDP10_DATASHEET
     card = INTEL_DATASHEET

@@ -61,11 +61,11 @@ _STATS = (
 )
 
 
-def run(scale: float = 1.0) -> ExperimentResult:
+def run(scale: float = 1.0, seed: int | None = None) -> ExperimentResult:
     """Summarise the generated traces against the paper's Table 3."""
     rows = []
     for name in ("mac", "dos", "hp"):
-        trace = trace_for(name, scale)
+        trace = trace_for(name, scale, seed=seed)
         stats = compute_statistics(trace).row()
         targets = PAPER_TABLE3[name]
         for stat in _STATS:

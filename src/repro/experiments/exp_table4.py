@@ -58,9 +58,10 @@ PAPER_TABLE4 = {
 }
 
 
-def simulate_row(trace_name: str, device: str, scale: float) -> SimulationResult:
+def simulate_row(trace_name: str, device: str, scale: float,
+                 seed: int | None = None) -> SimulationResult:
     """One Table 4 cell: one device on one trace at the paper's settings."""
-    trace = trace_for(trace_name, scale)
+    trace = trace_for(trace_name, scale, seed=seed)
     config = SimulationConfig(
         device=device,
         dram_bytes=dram_for(trace_name),
@@ -70,13 +71,14 @@ def simulate_row(trace_name: str, device: str, scale: float) -> SimulationResult
     return simulate(trace, config)
 
 
-def run(scale: float = 1.0, traces: tuple[str, ...] = ("mac", "dos", "hp")) -> ExperimentResult:
+def run(scale: float = 1.0, traces: tuple[str, ...] = ("mac", "dos", "hp"),
+        seed: int | None = None) -> ExperimentResult:
     """Regenerate Tables 4(a)-(c)."""
     tables = []
     for trace_name in traces:
         rows = []
         for device in DEVICE_ROWS:
-            result = simulate_row(trace_name, device, scale)
+            result = simulate_row(trace_name, device, scale, seed=seed)
             paper = PAPER_TABLE4[trace_name][device]
             rows.append(
                 (

@@ -27,9 +27,9 @@ PAIRS = (
 )
 
 
-def run(scale: float = 1.0) -> ExperimentResult:
+def run(scale: float = 1.0, seed: int | None = None) -> ExperimentResult:
     """Replay the synth trace on both testbed and simulator and compare."""
-    trace = trace_for("synth", scale)
+    trace = trace_for("synth", scale, seed=seed)
     rows = []
     for label, setup, device in PAIRS:
         measured = OmniBook().run_trace(setup, trace)

@@ -4,11 +4,25 @@ Full-scale operation counts reproduce the paper's Table 3 arithmetic
 (duration / mean inter-arrival); experiments pass ``scale`` to shrink the
 runs proportionally.  Traces are cached per (name, scale, seed) so a suite
 of experiments over the same workloads generates each trace once.
+
+Two process-level hooks support the execution engine
+(:mod:`repro.engine`):
+
+* :func:`configure_trace_store` plugs in an on-disk store (anything with
+  ``load(name, scale, seed)`` / ``save(trace, name, scale, seed)``) that
+  is consulted before regeneration, so worker processes share each
+  generated trace instead of recomputing it;
+* the module-default seed still exists for backward compatibility, but
+  mutating it via :func:`set_default_seed` is deprecated — pass
+  ``seed=`` explicitly (``trace_for(..., seed=)``,
+  ``run_experiment(..., seed=)``), which is process-safe.
 """
 
 from __future__ import annotations
 
+import warnings
 from functools import lru_cache
+from typing import Protocol
 
 from repro.traces.synthetic import SyntheticWorkload
 from repro.traces.trace import Trace
@@ -35,15 +49,49 @@ DRAM_BYTES = {
 SYNTH_FULL_OPS = 20_000
 
 
-#: Seed used when ``trace_for`` is called without an explicit one.  The
-#: experiment runner's ``--seed`` flag retargets it so every driver in a
-#: run generates its traces from the same seed without each experiment
-#: having to thread the parameter through.
+#: Seed used when ``trace_for`` is called without an explicit one.
 _DEFAULT_SEED = 1
 
 
+class TraceStoreLike(Protocol):
+    """What :func:`configure_trace_store` accepts (duck-typed so this
+    module never imports :mod:`repro.engine`)."""
+
+    def load(self, name: str, scale: float, seed: int) -> Trace | None: ...
+
+    def save(self, trace: Trace, name: str, scale: float, seed: int) -> object: ...
+
+
+#: Optional shared on-disk store consulted before regeneration.
+_TRACE_STORE: TraceStoreLike | None = None
+
+
+def configure_trace_store(store: TraceStoreLike | None) -> None:
+    """Install (or, with ``None``, remove) the shared on-disk trace store."""
+    global _TRACE_STORE
+    _TRACE_STORE = store
+
+
 def set_default_seed(seed: int) -> None:
-    """Set the seed ``trace_for`` uses when none is passed explicitly."""
+    """Set the seed ``trace_for`` uses when none is passed explicitly.
+
+    .. deprecated:: 1.1
+        Mutating the process-global seed is unsafe under the parallel
+        execution engine; pass ``seed=`` explicitly instead
+        (``trace_for(..., seed=)`` / ``run_experiment(..., seed=)``).
+    """
+    warnings.warn(
+        "set_default_seed() mutates process-global state and is deprecated; "
+        "pass seed= explicitly (trace_for(..., seed=) or "
+        "run_experiment(..., seed=))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    _set_default_seed(seed)
+
+
+def _set_default_seed(seed: int) -> None:
+    """Non-warning setter used internally to restore a saved seed."""
     global _DEFAULT_SEED
     _DEFAULT_SEED = int(seed)
 
@@ -56,18 +104,28 @@ def default_seed() -> int:
 def trace_for(name: str, scale: float = 1.0, seed: int | None = None) -> Trace:
     """The (cached) trace for one of the paper's workloads at ``scale``.
 
-    ``seed=None`` uses the module default (see :func:`set_default_seed`).
+    ``seed=None`` uses the module default (1 unless retargeted via the
+    deprecated :func:`set_default_seed`).
     """
     return _generate(name, scale, _DEFAULT_SEED if seed is None else seed)
 
 
 @lru_cache(maxsize=32)
 def _generate(name: str, scale: float, seed: int) -> Trace:
+    store = _TRACE_STORE
+    if store is not None:
+        stored = store.load(name, scale, seed)
+        if stored is not None:
+            return stored
     if name == "synth":
         n_ops = max(500, int(SYNTH_FULL_OPS * scale))
-        return SyntheticWorkload().generate(n_ops=n_ops, seed=seed)
-    n_ops = max(500, int(FULL_OPS[name] * scale))
-    return workload_by_name(name).generate(seed=seed, n_ops=n_ops)
+        trace = SyntheticWorkload().generate(n_ops=n_ops, seed=seed)
+    else:
+        n_ops = max(500, int(FULL_OPS[name] * scale))
+        trace = workload_by_name(name).generate(seed=seed, n_ops=n_ops)
+    if store is not None:
+        store.save(trace, name, scale, seed)
+    return trace
 
 
 def dram_for(name: str) -> int:

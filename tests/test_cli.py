@@ -127,3 +127,118 @@ def test_missing_command_errors():
 def test_unknown_command_errors():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+# -- the engine front end: repro run / repro cache -------------------------
+
+
+def test_run_single_experiment(tmp_path, capsys):
+    code = main(["run", "table2", "--scale", "1.0", "--jobs", "1",
+                 "--cache-dir", str(tmp_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "1 unit(s): 1 ok" in out
+    assert "manifest:" in out
+
+
+def test_run_unknown_experiment_errors(tmp_path, capsys):
+    code = main(["run", "no-such-experiment", "--cache-dir", str(tmp_path)])
+    assert code == 2
+    assert "no-such-experiment" in capsys.readouterr().err
+
+
+def test_run_second_invocation_is_cache_replay(tmp_path, capsys):
+    argv = ["run", "table2", "fig4", "--scale", "0.05", "--jobs", "1",
+            "--cache-dir", str(tmp_path)]
+    assert main(argv) == 0
+    assert "2 miss(es)" in capsys.readouterr().out
+    assert main(argv) == 0
+    assert "2 cache hit(s)" in capsys.readouterr().out
+
+
+def test_run_seed_sweep_and_output(tmp_path, capsys):
+    report = tmp_path / "report.txt"
+    code = main(["run", "fig4", "--scale", "0.05", "--jobs", "1",
+                 "--seed", "1", "--seed", "2",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--output", str(report), "--quiet"])
+    assert code == 0
+    assert "2 unit(s): 2 ok" in capsys.readouterr().out
+    assert report.read_text().count("Figure 4") == 2
+
+
+def test_run_manifest_written_where_asked(tmp_path, capsys):
+    manifest = tmp_path / "m.jsonl"
+    assert main(["run", "table2", "--scale", "1.0", "--jobs", "1",
+                 "--cache-dir", str(tmp_path), "--no-cache",
+                 "--manifest", str(manifest), "--quiet"]) == 0
+    capsys.readouterr()
+    from repro.engine import read_manifest
+
+    records = read_manifest(manifest)
+    assert [r["record"] for r in records] == ["run", "unit"]
+    assert records[1]["cache"] == "off"
+
+
+def test_run_keeps_completed_reports_when_one_fails(tmp_path, capsys,
+                                                    monkeypatch):
+    from repro.experiments.base import Experiment
+    from repro.experiments.registry import _EXPERIMENTS
+
+    def explode(scale=1.0, seed=None):
+        raise RuntimeError("mid-run crash")
+
+    monkeypatch.setitem(_EXPERIMENTS, "zz-broken", Experiment(
+        experiment_id="zz-broken", title="Broken", paper_ref="-", run=explode,
+    ))
+    report = tmp_path / "report.txt"
+    code = main(["run", "table2", "zz-broken", "--scale", "1.0", "--jobs", "1",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--output", str(report), "--quiet"])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "1 failed" in captured.out
+    assert "mid-run crash" in captured.err
+    # the completed prefix survived in the streamed output file
+    assert "manufacturer specifications" in report.read_text()
+
+
+def test_run_rejects_bad_scale(tmp_path):
+    for bad in ("0", "1.5", "-0.1", "banana"):
+        with pytest.raises(SystemExit):
+            main(["run", "table2", "--scale", bad,
+                  "--cache-dir", str(tmp_path)])
+
+
+def test_experiment_rejects_bad_scale():
+    with pytest.raises(SystemExit):
+        main(["experiment", "table2", "--scale", "0"])
+
+
+def test_runner_main_rejects_bad_scale():
+    from repro.experiments.runner import main as runner_main
+
+    with pytest.raises(SystemExit):
+        runner_main(["table2", "--scale", "2"])
+
+
+def test_runner_main_streams_output(tmp_path, capsys):
+    from repro.experiments.runner import main as runner_main
+
+    report = tmp_path / "report.txt"
+    assert runner_main(["table2", "--scale", "1.0",
+                        "--output", str(report)]) == 0
+    assert "manufacturer specifications" in report.read_text()
+    assert "manufacturer specifications" in capsys.readouterr().out
+
+
+def test_cache_stats_and_clear(tmp_path, capsys):
+    assert main(["run", "table2", "--scale", "1.0", "--jobs", "1",
+                 "--cache-dir", str(tmp_path), "--quiet"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+    stats_out = capsys.readouterr().out
+    assert "entries" in stats_out
+    assert "1" in stats_out
+    assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+    assert "removed 1" in capsys.readouterr().out
