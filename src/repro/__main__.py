@@ -6,6 +6,7 @@ Commands:
 * ``generate``  — write a synthetic trace to a file
 * ``analyze``   — characterise a trace file (Table 3 stats + locality toolkit)
 * ``experiment``— run a registered experiment driver (same as the runner)
+* ``inspect``   — per-layer latency/energy attribution for an experiment
 * ``run``       — parallel, cache-aware experiment runs via the engine
 * ``cache``     — manage the on-disk result cache (stats, clear)
 * ``faults``    — simulate under an injected-fault plan and report reliability
@@ -61,6 +62,24 @@ def _add_experiment(subparsers) -> None:
     parser.add_argument("experiment_id")
     parser.add_argument("--scale", type=parse_scale, default=0.2,
                         help="trace-length scale in (0, 1]")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="trace-generation seed (default: module default)")
+
+
+def _add_inspect(subparsers) -> None:
+    from repro.experiments.runner import parse_scale
+
+    parser = subparsers.add_parser(
+        "inspect",
+        help="per-layer latency/energy attribution for an experiment",
+        description="Run representative simulation cells of a registered "
+        "experiment and print each one's per-layer breakdown: the latency "
+        "and energy charged to dram / sram / device / cleaning, summing "
+        "to the run totals.",
+    )
+    parser.add_argument("experiment_id")
+    parser.add_argument("--scale", type=parse_scale, default=0.1,
+                        help="trace-length scale in (0, 1] (default 0.1)")
     parser.add_argument("--seed", type=int, default=None,
                         help="trace-generation seed (default: module default)")
 
@@ -149,6 +168,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_generate(subparsers)
     _add_analyze(subparsers)
     _add_experiment(subparsers)
+    _add_inspect(subparsers)
     _add_run(subparsers)
     _add_cache(subparsers)
     _add_faults(subparsers)
@@ -255,6 +275,21 @@ def cmd_experiment(args) -> int:
 
     print(run_experiment(args.experiment_id, scale=args.scale, seed=args.seed).render())
     return 0
+
+
+def cmd_inspect(args) -> int:
+    from repro.errors import ConfigurationError
+    from repro.experiments.inspection import inspect_experiment
+
+    try:
+        report, ok = inspect_experiment(
+            args.experiment_id, scale=args.scale, seed=args.seed
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(report.render())
+    return 0 if ok else 1
 
 
 def cmd_run(args) -> int:
@@ -448,6 +483,7 @@ _COMMANDS = {
     "generate": cmd_generate,
     "analyze": cmd_analyze,
     "experiment": cmd_experiment,
+    "inspect": cmd_inspect,
     "run": cmd_run,
     "cache": cmd_cache,
     "faults": cmd_faults,

@@ -5,18 +5,37 @@ read/write response-time statistics.
 """
 
 from repro.core.config import SimulationConfig
-from repro.core.metrics import ResponseAccumulator, ResponseStats
+from repro.core.hooks import HookBus
+from repro.core.metrics import MetricsCollector, ResponseAccumulator, ResponseStats
+from repro.core.request import Request, RequestKind, Response
 from repro.core.results import SimulationResult
 from repro.core.hierarchy import StorageHierarchy, build_hierarchy
+from repro.core.layers import (
+    DeviceLayer,
+    DramLayer,
+    LayerStack,
+    SramLayer,
+    StorageLayer,
+)
 from repro.core.simulator import Simulator, simulate
 
 __all__ = [
+    "DeviceLayer",
+    "DramLayer",
+    "HookBus",
+    "LayerStack",
+    "MetricsCollector",
+    "Request",
+    "RequestKind",
+    "Response",
     "ResponseAccumulator",
     "ResponseStats",
     "SimulationConfig",
     "SimulationResult",
     "Simulator",
+    "SramLayer",
     "StorageHierarchy",
+    "StorageLayer",
     "build_hierarchy",
     "simulate",
 ]

@@ -1,8 +1,7 @@
-"""Storage-hierarchy assembly and operation dispatch.
+"""Storage-hierarchy assembly and its LayerStack-backed facade.
 
 A hierarchy is DRAM buffer cache -> optional battery-backed SRAM write
-buffer -> non-volatile device.  ``read``/``write`` implement the paper's
-semantics:
+buffer -> non-volatile device.  The request semantics follow the paper:
 
 * the buffer cache is searched first on reads and is the target of all
   writes (write-through by default, section 4.2);
@@ -13,6 +12,15 @@ semantics:
   synchronously anyway, and synchronously when an incoming write finds the
   buffer full ("many writes will be delayed as they wait for the disk",
   section 5.5).
+
+The mechanics live in :mod:`repro.core.layers`: each component is a
+:class:`~repro.core.layers.StorageLayer` and the hierarchy composes them
+into a :class:`~repro.core.layers.LayerStack`.  :class:`StorageHierarchy`
+is the stable facade over that stack — it keeps the historical
+``read``/``write``/``delete`` float-returning interface (and the
+``.dram``/``.sram``/``.device`` attributes) that tests and experiment
+drivers use, while exposing the stack and its hook bus for callers that
+want full :class:`~repro.core.request.Response` objects.
 """
 
 from __future__ import annotations
@@ -24,6 +32,8 @@ from repro.cache.buffer_cache import BufferCache
 from repro.cache.policies import eviction_policy
 from repro.cache.sram_buffer import SramWriteBuffer
 from repro.core.config import SimulationConfig
+from repro.core.layers import DeviceLayer, DramLayer, LayerStack, SramLayer, StorageLayer
+from repro.core.request import Response
 from repro.devices.base import StorageDevice
 from repro.devices.disk import MagneticDisk
 from repro.devices.flashcard import FlashCard
@@ -36,19 +46,22 @@ from repro.devices.specs import (
     memory_spec,
 )
 from repro.devices.spindown import FixedTimeoutPolicy, NeverSpinDownPolicy
-from repro.errors import ConfigurationError, UnrecoverableDeviceError
+from repro.errors import ConfigurationError
 from repro.faults.injector import FaultInjector
-from repro.faults.recovery import ReliabilityMeter, recovery_scan_s
+from repro.faults.recovery import ReliabilityMeter
 from repro.faults.retry import RetryPolicy
 from repro.flash.cleaner import cleaning_policy
 from repro.traces.record import BlockOp
 
-#: pseudo file id used for batched buffer flushes (forces one average seek)
-_FLUSH_FILE_ID = -1
-
 
 class StorageHierarchy:
-    """A DRAM cache, an optional SRAM write buffer, and a device."""
+    """A DRAM cache, an optional SRAM write buffer, and a device.
+
+    A thin facade over the :class:`~repro.core.layers.LayerStack` that
+    does the actual work; ``read``/``write`` return plain response times
+    for callers that don't need per-layer attribution, while ``submit``
+    returns the full :class:`~repro.core.request.Response`.
+    """
 
     def __init__(
         self,
@@ -68,26 +81,43 @@ class StorageHierarchy:
         self.faults = injector
         if injector is not None:
             plan = injector.plan
-            self.retry = RetryPolicy(plan.max_retries, plan.retry_backoff_s)
+            self.retry: RetryPolicy | None = RetryPolicy(
+                plan.max_retries, plan.retry_backoff_s
+            )
             self.reliability: ReliabilityMeter | None = ReliabilityMeter()
         else:
             self.retry = None
             self.reliability = None
 
+        layers: list[StorageLayer] = []
+        if self.dram is not None:
+            layers.append(DramLayer(self.dram, block_bytes))
+        if self.sram is not None:
+            layers.append(SramLayer(self.sram, block_bytes))
+        layers.append(
+            DeviceLayer(
+                device,
+                block_bytes,
+                response_includes_queueing=response_includes_queueing,
+                injector=injector,
+                retry=self.retry,
+                reliability=self.reliability,
+            )
+        )
+        self.stack = LayerStack(
+            layers, block_bytes, injector=injector, reliability=self.reliability
+        )
+        self.hooks = self.stack.hooks
+
     # -- time/energy bookkeeping ---------------------------------------------------
 
     def advance(self, until: float) -> None:
         """Move every component's accounting clock forward to ``until``."""
-        if self.dram is not None:
-            self.dram.advance(until)
-        if self.sram is not None:
-            self.sram.advance(until)
-        if until > self.device.clock:
-            self.device.advance(until)
+        self.stack.advance(until)
 
     def latest_time(self) -> float:
         """The latest point any component has reached."""
-        return max(self.device.busy_until, self.device.clock)
+        return self.stack.latest_time()
 
     def finalize(self, until: float) -> None:
         """Flush volatile dirty state and close energy accounting.
@@ -95,247 +125,48 @@ class StorageHierarchy:
         Dirty blocks in a write-back DRAM cache must reach the device (DRAM
         is volatile); SRAM contents may stay buffered (battery-backed).
         """
-        if self.write_back and self.dram is not None:
-            dirty = self.dram.drain_dirty()
-            if dirty:
-                self._write_device(self.latest_time(), dirty)
-        end = max(until, self.latest_time())
-        self.advance(end)
+        self.stack.finalize(until)
 
     def reset_accounting(self) -> None:
         """Zero all energy meters and counters (warm-start boundary)."""
-        self.device.reset_accounting()
-        if self.dram is not None:
-            self.dram.reset_accounting()
-        if self.sram is not None:
-            self.sram.reset_accounting()
-        if self.reliability is not None:
-            self.reliability.reset()
+        self.stack.reset_accounting()
 
     def energy_breakdown(self) -> dict[str, dict[str, float]]:
         """Per-component, per-bucket energy in Joules."""
-        breakdown = {"device": self.device.energy.breakdown()}
-        if self.dram is not None:
-            breakdown["dram"] = self.dram.energy.breakdown()
-        if self.sram is not None:
-            breakdown["sram"] = self.sram.energy.breakdown()
-        return breakdown
+        return self.stack.energy_breakdown()
 
     @property
     def total_energy_j(self) -> float:
         """Total energy across all components, Joules."""
-        return sum(
-            sum(buckets.values()) for buckets in self.energy_breakdown().values()
-        )
+        return self.stack.total_energy_j
 
     # -- operation dispatch -----------------------------------------------------------
 
+    def submit(self, op: BlockOp) -> Response:
+        """Execute one operation; returns its full per-layer response."""
+        return self.stack.submit(op)
+
     def read(self, op: BlockOp) -> float:
         """Execute a read; returns its response time in seconds."""
-        at = op.time
-        self.advance(at)
-        now = at
-
-        if self.dram is not None:
-            hits, misses = self.dram.lookup(op.blocks)
-            now += self.dram.access_time(len(hits) * self.block_bytes)
-        else:
-            hits, misses = [], list(op.blocks)
-
-        if misses:
-            if self.sram is not None:
-                buffered = [b for b in misses if self.sram.contains(b)]
-                device_blocks = [b for b in misses if not self.sram.contains(b)]
-                now += self.sram.access_time(len(buffered) * self.block_bytes)
-            else:
-                device_blocks = misses
-            if device_blocks:
-                queue_wait = self._queue_wait(now)
-                before = now
-                now = self._device_read(
-                    now, len(device_blocks) * self.block_bytes, device_blocks, op.file_id
-                )
-                # Never subtract more waiting than actually elapsed (a
-                # composite device may have been busy on only one leg).
-                now -= min(queue_wait, max(0.0, now - before))
-                self._background_flush()
-            if self.dram is not None:
-                evicted = self.dram.install(misses)
-                if evicted:
-                    # Write-back mode: evicted dirty blocks must be written
-                    # out before their frames are reused.
-                    now = self._write_device(now, evicted)
-        return now - at
+        return self.stack.submit(op).response_s
 
     def write(self, op: BlockOp) -> float:
         """Execute a write; returns its response time in seconds."""
-        at = op.time
-        self.advance(at)
-        now = at
-
-        if self.dram is not None:
-            evicted = self.dram.install(op.blocks, dirty=self.write_back)
-            now += self.dram.access_time(op.size)
-            if evicted:
-                now = self._write_device(now, evicted)
-
-        if self.write_back:
-            return now - at  # absorbed; the device sees it on eviction
-
-        if self.sram is not None and self.sram.can_ever_fit(op.blocks):
-            if not self.sram.fits(op.blocks):
-                flush_blocks = self.sram.drain()
-                self.sram.sync_flushes += 1
-                now = self._write_device(now, flush_blocks)
-            self.sram.add(op.blocks)
-            now += self.sram.access_time(op.size)
-            # Write-behind: while the device is awake anyway, drain right
-            # away (keeps a spinning disk's idle timer fresh); to a sleeping
-            # disk, hold the data and defer the spin-up (paper section 2).
-            if self.device.accepts_immediate_flush():
-                # The drained data is overwhelmingly the write that just
-                # landed, so charge seeks as if it were that file's.
-                self._background_flush(file_id=op.file_id)
-        else:
-            if self.sram is not None:
-                # Bypassing the buffer: drop stale buffered versions so a
-                # later flush cannot overwrite this newer data.
-                self.sram.invalidate(op.blocks)
-            queue_wait = self._queue_wait(now)
-            before = now
-            now = self._device_write(now, op.size, op.blocks, op.file_id)
-            now -= min(queue_wait, max(0.0, now - before))
-            self._background_flush()
-        return now - at
+        return self.stack.submit(op).response_s
 
     def delete(self, op: BlockOp) -> None:
         """Execute a whole-file deletion (metadata-only, no response time)."""
-        self.advance(op.time)
-        if self.dram is not None:
-            self.dram.invalidate(op.blocks)
-        if self.sram is not None:
-            self.sram.invalidate(op.blocks)
-        self.device.delete(op.time, op.blocks)
+        self.stack.submit(op)
 
     # -- crash / recovery --------------------------------------------------------------
 
     def crash(self, at: float) -> None:
-        """Lose power at trace time ``at`` and recover.
-
-        Semantics (paper sections 4.2 and 5.5):
-
-        * any device operation still in flight is torn (counted, then
-          truncated — the model does not track partially-written blocks);
-        * the volatile DRAM cache is dropped; in write-back mode its dirty
-          blocks are lost outright (data loss, counted);
-        * the battery-backed SRAM buffer survives and replays its dirty
-          blocks to the device during recovery;
-        * recovery costs a metadata scan (base + per-MB) plus the replay
-          writes, all charged to the device's ``recovery`` energy bucket
-          and to the run's recovery-time counter.
-        """
-        meter = self.reliability
-        meter.power_losses += 1
-        if self.device.busy_until > at + 1e-12:
-            meter.torn_writes += 1
-        self.advance(at)
-        self.device.power_cycle(at)
-
-        if self.dram is not None:
-            resident, dirty = self.dram.drop_all()
-            meter.dropped_cache_blocks += resident
-            meter.lost_dirty_blocks += dirty
-
-        energy_before = self.device.energy.total_j
-        now = self.device.recover(at, recovery_scan_s(self.device, self.faults.plan))
-        if self.sram is not None and self.sram.dirty_count:
-            blocks = self.sram.crash_replay()
-            meter.replayed_blocks += len(blocks)
-            # Replay bypasses fault injection: recovery code paths verify
-            # each write, so a transient fault costs nothing extra here.
-            now = self.device.write(
-                now, len(blocks) * self.block_bytes, blocks, _FLUSH_FILE_ID
-            )
-        meter.recovery_time_s += now - at
-        meter.recovery_energy_j += self.device.energy.total_j - energy_before
+        """Lose power at trace time ``at`` and recover."""
+        self.stack.crash(at)
 
     def reliability_snapshot(self):
         """Frozen reliability stats, or None when no faults were injected."""
-        if self.reliability is None:
-            return None
-        return self.reliability.snapshot(self.device)
-
-    # -- helpers ---------------------------------------------------------------------
-
-    def _queue_wait(self, now: float) -> float:
-        """Time this request would spend queued behind an in-flight
-        operation; subtracted from responses unless the configuration asks
-        for queueing-inclusive reporting."""
-        if self.response_includes_queueing:
-            return 0.0
-        return max(0.0, self.device.busy_until - now)
-
-    def _device_read(self, at: float, size: int, blocks, file_id: int) -> float:
-        """Device read with transient-fault retries; returns completion."""
-        completion = self.device.read(at, size, blocks, file_id)
-        if self.faults is None:
-            return completion
-        retries, recovered = self.faults.read_failures()
-        for attempt in range(retries):
-            delay = self.retry.backoff(attempt)
-            self.reliability.read_retries += 1
-            self.reliability.retry_delay_s += delay
-            completion = self.device.read(completion + delay, size, blocks, file_id)
-        if not recovered:
-            self._unrecovered("read", blocks)
-        return completion
-
-    def _device_write(self, at: float, size: int, blocks, file_id: int) -> float:
-        """Device write with transient-fault retries; returns completion.
-
-        Each retry re-issues the whole operation after an exponential
-        backoff: the device charges time and energy again (and, on flash,
-        burns another out-of-place allocation — retried programs are real
-        wear), and the foreground response stretches accordingly.
-        """
-        completion = self.device.write(at, size, blocks, file_id)
-        if self.faults is None:
-            return completion
-        retries, recovered = self.faults.write_failures()
-        for attempt in range(retries):
-            delay = self.retry.backoff(attempt)
-            self.reliability.write_retries += 1
-            self.reliability.retry_delay_s += delay
-            completion = self.device.write(completion + delay, size, blocks, file_id)
-        if not recovered:
-            self._unrecovered("write", blocks)
-        return completion
-
-    def _unrecovered(self, kind: str, blocks) -> None:
-        self.reliability.unrecovered_errors += 1
-        if self.faults.plan.fail_fast:
-            raise UnrecoverableDeviceError(
-                f"{kind} of blocks {list(blocks)[:4]}... still failing after "
-                f"{self.faults.plan.max_retries} retries"
-            )
-
-    def _write_device(self, now: float, blocks: list[int]) -> float:
-        """Synchronous batched device write (flushes, evictions)."""
-        return self._device_write(
-            now, len(blocks) * self.block_bytes, blocks, _FLUSH_FILE_ID
-        )
-
-    def _background_flush(self, file_id: int = _FLUSH_FILE_ID) -> None:
-        """Drain the SRAM buffer behind a device access that already
-        happened: the device is active (and, for a disk, spinning), so the
-        flush costs time and energy on the device but does not delay the
-        foreground operation."""
-        if self.sram is None or self.sram.dirty_count == 0:
-            return
-        blocks = self.sram.drain()
-        self.sram.background_flushes += 1
-        start = max(self.device.busy_until, self.device.clock)
-        self._device_write(start, len(blocks) * self.block_bytes, blocks, file_id)
+        return self.stack.reliability_snapshot()
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,69 @@
+"""A lightweight hook bus for the request path.
+
+Cross-cutting subscribers — the fault injector's power-loss schedule, the
+metrics collector, regression probes in tests — attach here instead of
+being special-cased inside the simulator loop:
+
+* ``on_submit(request)`` fires before a request touches any layer;
+* ``on_complete(response)`` fires after the stack finished it;
+* ``on_crash(at, recovered_at)`` fires after a power loss was recovered.
+
+Emission is allocation-free and O(subscribers); a bus with no subscribers
+costs one truth test per event.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.request import Request, Response
+
+SubmitHook = Callable[[Request], None]
+CompleteHook = Callable[[Response], None]
+CrashHook = Callable[[float, float], None]
+
+
+class HookBus:
+    """Subscribe/emit for the three request-path events.
+
+    The subscriber lists are public on purpose: the stack's hot loop
+    iterates them directly, skipping the emit call when a list is empty.
+    """
+
+    __slots__ = ("submit_hooks", "complete_hooks", "crash_hooks")
+
+    def __init__(self) -> None:
+        self.submit_hooks: list[SubmitHook] = []
+        self.complete_hooks: list[CompleteHook] = []
+        self.crash_hooks: list[CrashHook] = []
+
+    # -- subscription --------------------------------------------------------------
+
+    def on_submit(self, hook: SubmitHook) -> SubmitHook:
+        """Call ``hook(request)`` before each request enters the stack."""
+        self.submit_hooks.append(hook)
+        return hook
+
+    def on_complete(self, hook: CompleteHook) -> CompleteHook:
+        """Call ``hook(response)`` after each request completes."""
+        self.complete_hooks.append(hook)
+        return hook
+
+    def on_crash(self, hook: CrashHook) -> CrashHook:
+        """Call ``hook(at, recovered_at)`` after each power-loss recovery."""
+        self.crash_hooks.append(hook)
+        return hook
+
+    # -- emission ------------------------------------------------------------------
+
+    def emit_submit(self, request: Request) -> None:
+        for hook in self.submit_hooks:
+            hook(request)
+
+    def emit_complete(self, response: Response) -> None:
+        for hook in self.complete_hooks:
+            hook(response)
+
+    def emit_crash(self, at: float, recovered_at: float) -> None:
+        for hook in self.crash_hooks:
+            hook(at, recovered_at)

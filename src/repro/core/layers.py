@@ -1,0 +1,761 @@
+"""Composable storage layers and the LayerStack that chains them.
+
+The storage hierarchy used to be hand-wired: one class that knew the
+DRAM -> SRAM -> device plumbing inline.  This module replaces it with a
+uniform :class:`StorageLayer` protocol — ``submit`` / ``advance`` /
+``crash`` / ``finalize`` / ``snapshot`` — and a :class:`LayerStack` that
+composes any sequence of layers ending in a device.  Each layer handles
+the part of a request it can serve, forwards the remainder to its
+``downstream`` neighbour, and attributes the latency and energy of its own
+work onto the travelling :class:`~repro.core.request.Response`.
+
+The composition is behaviour-preserving by construction: every layer
+performs the exact arithmetic, in the exact order, that the hand-wired
+dispatch performed, so simulation results are bit-identical to the
+pre-refactor path (pinned by ``tests/test_layerstack_equivalence.py``).
+
+Layer names double as attribution keys: ``dram``, ``sram``, ``device``,
+plus the pseudo-layer ``cleaning`` for flash-reclamation costs a device
+reports via :meth:`~repro.devices.base.StorageDevice.cleaning_costs`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import TYPE_CHECKING, Any
+
+from repro.core.hooks import HookBus
+from repro.core.request import FLUSH_FILE_ID, Request, RequestKind, Response
+from repro.devices.base import StorageDevice
+from repro.errors import SimulationError, UnrecoverableDeviceError
+from repro.faults.recovery import ReliabilityMeter, recovery_scan_s
+
+if TYPE_CHECKING:
+    from repro.cache.buffer_cache import BufferCache
+    from repro.cache.sram_buffer import SramWriteBuffer
+    from repro.faults.injector import FaultInjector
+    from repro.faults.retry import RetryPolicy
+    from repro.traces.record import BlockOp
+
+#: attribution key for flash-reclamation work (cleaning stalls, erases)
+CLEANING_LAYER = "cleaning"
+
+# Hot-path locals: enum member lookups cost an attribute access per event,
+# and the request path dispatches on kind for every operation.
+_READ = RequestKind.READ
+_WRITE = RequestKind.WRITE
+_DELETE = RequestKind.DELETE
+_FLUSH = RequestKind.FLUSH
+
+
+class StorageLayer(ABC):
+    """One stage of the storage hierarchy.
+
+    A layer serves what it can of each request and forwards the rest to
+    ``downstream`` (linked by the :class:`LayerStack`).  All five protocol
+    methods are mandatory; ``frontier`` reports how far the layer's own
+    clock has advanced so the stack can compute the hierarchy-wide latest
+    time without knowing any layer's internals.
+    """
+
+    name: str
+    downstream: "StorageLayer | None"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.downstream = None
+
+    def _down(self) -> "StorageLayer":
+        if self.downstream is None:
+            raise SimulationError(
+                f"layer {self.name!r} has no downstream; a LayerStack must "
+                "end in a device layer"
+            )
+        return self.downstream
+
+    @abstractmethod
+    def submit(self, request: Request, response: Response | None = None) -> Response:
+        """Process ``request``, forwarding downstream as needed.
+
+        Foreground requests move ``response.completed_at`` to the time the
+        layer finished its part; background requests must leave it alone.
+        """
+
+    @abstractmethod
+    def advance(self, until: float) -> None:
+        """Move the layer's accounting clock forward to ``until``."""
+
+    @abstractmethod
+    def crash(self, at: float) -> Any:
+        """Lose power at ``at``; returns layer-specific loss/recovery data."""
+
+    @abstractmethod
+    def finalize(self, until: float) -> None:
+        """Flush layer state that must not outlive the simulation."""
+
+    @abstractmethod
+    def snapshot(self) -> dict[str, float]:
+        """Frozen counters for reports (hit rates, flush counts, ...)."""
+
+    @abstractmethod
+    def frontier(self) -> float:
+        """The latest point in simulated time this layer has reached."""
+
+    def accepts_immediate_flush(self) -> bool:
+        """May buffered writes drain toward the device right now?
+
+        Intermediate layers delegate to the device at the bottom, which
+        knows whether accepting data is free (flash, spinning disk) or
+        would defeat a power policy (sleeping disk).
+        """
+        return self._down().accepts_immediate_flush()
+
+
+class DramLayer(StorageLayer):
+    """The volatile DRAM buffer cache as a stack layer."""
+
+    def __init__(self, cache: "BufferCache", block_bytes: int) -> None:
+        super().__init__("dram")
+        self.cache = cache
+        self.block_bytes = block_bytes
+        self.write_back = cache.write_back
+        # advance() is pure delegation and runs once per request: bind
+        # straight through to the cache (instance attribute wins over the
+        # class method).
+        self.advance = cache.advance
+
+    def submit(self, request: Request, response: Response | None = None) -> Response:
+        if response is None:
+            response = Response(request, request.time)
+        kind = request.kind
+        cache = self.cache
+
+        if kind is _READ:
+            now = request.time
+            bb = self.block_bytes
+            hits, misses = cache.lookup(request.blocks)
+            wait = cache.access_time(len(hits) * bb)
+            if wait:
+                now += wait
+                response.attribute("dram", wait, cache.spec.active_power_w * wait)
+            if misses:
+                sub = Request(
+                    _READ, now, misses, len(misses) * bb, request.file_id
+                )
+                self.downstream.submit(sub, response)
+                now = response.completed_at
+                evicted = cache.install(misses)
+                if evicted:
+                    # Write-back mode: evicted dirty blocks must reach the
+                    # device before their frames are reused.
+                    now = self._flush_down(evicted, now, response)
+            response.completed_at = now
+            return response
+
+        if kind is _WRITE:
+            now = request.time
+            evicted = cache.install(request.blocks, dirty=self.write_back)
+            wait = cache.access_time(request.size)
+            if wait:
+                now += wait
+                response.attribute("dram", wait, cache.spec.active_power_w * wait)
+            if evicted:
+                now = self._flush_down(evicted, now, response)
+            if self.write_back:
+                # Absorbed; the device sees the data on eviction.
+                response.completed_at = now
+                return response
+            sub = Request(
+                _WRITE, now, request.blocks, request.size,
+                request.file_id,
+            )
+            self.downstream.submit(sub, response)
+            return response
+
+        if kind is _DELETE:
+            cache.invalidate(request.blocks)
+            return self.downstream.submit(request, response)
+
+        # FLUSH requests originate below the cache; pass through verbatim.
+        return self._down().submit(request, response)
+
+    def _flush_down(
+        self, blocks: list[int], now: float, response: Response
+    ) -> float:
+        sub = Request(
+            _FLUSH, now, blocks,
+            len(blocks) * self.block_bytes, FLUSH_FILE_ID,
+        )
+        self._down().submit(sub, response)
+        return response.completed_at
+
+    def advance(self, until: float) -> None:
+        self.cache.advance(until)
+
+    def crash(self, at: float) -> tuple[int, int]:
+        """Drop every resident block (DRAM is volatile).
+
+        Returns ``(resident, dirty)`` counts; dirty blocks of a write-back
+        cache are lost for good.
+        """
+        return self.cache.drop_all()
+
+    def finalize(self, until: float) -> None:
+        """Write-back dirty blocks must reach the device (DRAM is volatile)."""
+        if self.write_back:
+            dirty = self.cache.drain_dirty()
+            if dirty:
+                request = Request(
+                    RequestKind.FLUSH, until, dirty,
+                    len(dirty) * self.block_bytes, FLUSH_FILE_ID,
+                )
+                self._down().submit(request, Response(request, until))
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "hits": self.cache.hits,
+            "misses": self.cache.misses,
+            "hit_rate": self.cache.hit_rate,
+            "dirty_blocks": self.cache.dirty_blocks,
+        }
+
+    def frontier(self) -> float:
+        return self.cache.clock
+
+
+class SramLayer(StorageLayer):
+    """The battery-backed SRAM write buffer as a stack layer."""
+
+    def __init__(self, buffer: "SramWriteBuffer", block_bytes: int) -> None:
+        super().__init__("sram")
+        self.buffer = buffer
+        self.block_bytes = block_bytes
+        self.advance = buffer.advance  # pure delegation, as in DramLayer
+
+    def submit(self, request: Request, response: Response | None = None) -> Response:
+        if response is None:
+            response = Response(request, request.time)
+        kind = request.kind
+        buffer = self.buffer
+
+        if kind is _READ:
+            now = request.time
+            bb = self.block_bytes
+            contains = buffer.contains
+            buffered: list[int] = []
+            device_blocks: list[int] = []
+            for block in request.blocks:
+                (buffered if contains(block) else device_blocks).append(block)
+            wait = buffer.access_time(len(buffered) * bb)
+            if wait:
+                now += wait
+                response.attribute("sram", wait, buffer.spec.active_power_w * wait)
+            if device_blocks:
+                sub = Request(
+                    _READ, now, device_blocks,
+                    len(device_blocks) * bb, request.file_id,
+                )
+                self.downstream.submit(sub, response)
+                now = response.completed_at
+                self._background_flush(response)
+            response.completed_at = now
+            return response
+
+        if kind is _WRITE:
+            now = request.time
+            if buffer.can_ever_fit(request.blocks):
+                if not buffer.fits(request.blocks):
+                    flush_blocks = buffer.drain()
+                    buffer.sync_flushes += 1
+                    sub = Request(
+                        _FLUSH, now, flush_blocks,
+                        len(flush_blocks) * self.block_bytes, FLUSH_FILE_ID,
+                    )
+                    self.downstream.submit(sub, response)
+                    now = response.completed_at
+                buffer.add(request.blocks)
+                wait = buffer.access_time(request.size)
+                if wait:
+                    now += wait
+                    response.attribute("sram", wait, buffer.spec.active_power_w * wait)
+                response.completed_at = now
+                # Write-behind: while the device is awake anyway, drain
+                # right away (keeps a spinning disk's idle timer fresh); to
+                # a sleeping disk, hold the data and defer the spin-up.
+                if self._down().accepts_immediate_flush():
+                    # The drained data is overwhelmingly the write that
+                    # just landed, so charge seeks as if it were its file's.
+                    self._background_flush(response, file_id=request.file_id)
+                return response
+            # Bypassing the buffer: drop stale buffered versions so a later
+            # flush cannot overwrite this newer data.
+            buffer.invalidate(request.blocks)
+            sub = Request(
+                _WRITE, now, request.blocks, request.size,
+                request.file_id,
+            )
+            self._down().submit(sub, response)
+            self._background_flush(response)
+            return response
+
+        if kind is _DELETE:
+            buffer.invalidate(request.blocks)
+            return self._down().submit(request, response)
+
+        # FLUSH: a batch already on its way to the device; forward verbatim
+        # (a flush must not be re-absorbed by the buffer that emitted it).
+        return self._down().submit(request, response)
+
+    def _background_flush(self, response: Response, file_id: int = FLUSH_FILE_ID) -> None:
+        """Drain the buffer behind a device access that already happened:
+        the device is active (and, for a disk, spinning), so the flush
+        costs device time and energy but does not delay the foreground
+        operation."""
+        buffer = self.buffer
+        if buffer.dirty_count == 0:
+            return
+        blocks = buffer.drain()
+        buffer.background_flushes += 1
+        sub = Request(
+            _FLUSH, 0.0, blocks, len(blocks) * self.block_bytes,
+            file_id, background=True,
+        )
+        self.downstream.submit(sub, response)
+
+    def advance(self, until: float) -> None:
+        self.buffer.advance(until)
+
+    def crash(self, at: float) -> list[int]:
+        """Survive the outage (battery) and hand back the buffered blocks
+        for the recovery replay."""
+        return self.buffer.crash_replay()
+
+    def finalize(self, until: float) -> None:
+        """SRAM contents may stay buffered: the battery holds them."""
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "dirty_count": self.buffer.dirty_count,
+            "absorbed_writes": self.buffer.absorbed_writes,
+            "sync_flushes": self.buffer.sync_flushes,
+            "background_flushes": self.buffer.background_flushes,
+            "replays": self.buffer.replays,
+        }
+
+    def frontier(self) -> float:
+        return self.buffer.clock
+
+
+class DeviceLayer(StorageLayer):
+    """The terminal layer: a non-volatile device, with fault retries.
+
+    Queue-wait subtraction happens here: the simulator is trace-driven, so
+    a request arriving while the device is busy queues behind the
+    in-flight operation, and the paper's methodology ("all operations take
+    the average or 'typical' time") excludes that wait from responses
+    unless the configuration asks for queueing-inclusive reporting.
+    """
+
+    def __init__(
+        self,
+        device: StorageDevice,
+        block_bytes: int,
+        response_includes_queueing: bool = False,
+        injector: "FaultInjector | None" = None,
+        retry: "RetryPolicy | None" = None,
+        reliability: ReliabilityMeter | None = None,
+    ) -> None:
+        super().__init__("device")
+        self.device = device
+        self.block_bytes = block_bytes
+        self.response_includes_queueing = response_includes_queueing
+        self.faults = injector
+        self.retry = retry
+        self.reliability = reliability
+        # Hot-path bindings: the meter is stable for the device's lifetime
+        # (FlashCacheDevice builds its merged view per property access),
+        # and devices without reclamation skip cleaning deltas entirely.
+        self._meter = device.energy
+        self._has_cleaning = device.has_cleaning
+
+    # -- submit ------------------------------------------------------------------
+
+    def submit(self, request: Request, response: Response | None = None) -> Response:
+        if response is None:
+            response = Response(request, request.time)
+        device = self.device
+        kind = request.kind
+
+        if kind is _DELETE:
+            device.delete(request.time, request.blocks)
+            return response
+
+        faults = self.faults
+        energy_before = self._meter.running_j
+        cleaning_before = device.cleaning_costs() if self._has_cleaning else None
+
+        if request.background:
+            # Rides behind an access that already happened: starts at the
+            # device's frontier, costs energy but no foreground latency.
+            start = max(device.busy_until, device.clock)
+            if faults is None:
+                device.write(start, request.size, request.blocks, request.file_id)
+            else:
+                self._write(start, request.size, request.blocks, request.file_id)
+            if cleaning_before is None:
+                response.attribute(
+                    "device", 0.0, self._meter.running_j - energy_before
+                )
+            else:
+                self._attribute(
+                    response, 0.0, energy_before, cleaning_before, background=True
+                )
+            return response
+
+        now = request.time
+        if kind is _FLUSH:
+            # Synchronous batched flush (buffer drains, evictions): queues
+            # behind in-flight work like any access, with no wait excluded.
+            if faults is None:
+                completion = device.write(
+                    now, request.size, request.blocks, request.file_id
+                )
+            else:
+                completion = self._write(
+                    now, request.size, request.blocks, request.file_id
+                )
+        else:
+            if self.response_includes_queueing:
+                queue_wait = 0.0
+            else:
+                queue_wait = max(0.0, device.busy_until - now)
+            if kind is _READ:
+                if faults is None:
+                    completion = device.read(
+                        now, request.size, request.blocks, request.file_id
+                    )
+                else:
+                    completion = self._read(
+                        now, request.size, request.blocks, request.file_id
+                    )
+            elif faults is None:
+                completion = device.write(
+                    now, request.size, request.blocks, request.file_id
+                )
+            else:
+                completion = self._write(
+                    now, request.size, request.blocks, request.file_id
+                )
+            # Never subtract more waiting than actually elapsed (a
+            # composite device may have been busy on only one leg).
+            completion -= min(queue_wait, max(0.0, completion - now))
+        if cleaning_before is None:
+            response.attribute(
+                "device", completion - now, self._meter.running_j - energy_before
+            )
+        else:
+            self._attribute(
+                response, completion - now, energy_before, cleaning_before
+            )
+        response.completed_at = completion
+        return response
+
+    def _attribute(
+        self,
+        response: Response,
+        latency_s: float,
+        energy_before: float,
+        cleaning_before: tuple[float, float] | None,
+        background: bool = False,
+    ) -> None:
+        """Split the device's cost into transport vs. reclamation work."""
+        energy = self._meter.running_j - energy_before
+        if cleaning_before is not None:
+            stall_after, clean_after = self.device.cleaning_costs()
+            stall = stall_after - cleaning_before[0]
+            clean_energy = clean_after - cleaning_before[1]
+            if stall or clean_energy:
+                if background:
+                    stall = 0.0
+                response.attribute(CLEANING_LAYER, stall, clean_energy)
+                latency_s -= stall
+                energy -= clean_energy
+        response.attribute("device", latency_s, energy)
+
+    # -- fault-aware device access -------------------------------------------------
+
+    def _read(self, at: float, size: int, blocks: Any, file_id: int) -> float:
+        """Device read with transient-fault retries; returns completion."""
+        completion = self.device.read(at, size, blocks, file_id)
+        if self.faults is None:
+            return completion
+        retries, recovered = self.faults.read_failures()
+        for attempt in range(retries):
+            delay = self.retry.backoff(attempt)
+            self.reliability.read_retries += 1
+            self.reliability.retry_delay_s += delay
+            completion = self.device.read(completion + delay, size, blocks, file_id)
+        if not recovered:
+            self._unrecovered("read", blocks)
+        return completion
+
+    def _write(self, at: float, size: int, blocks: Any, file_id: int) -> float:
+        """Device write with transient-fault retries; returns completion.
+
+        Each retry re-issues the whole operation after an exponential
+        backoff: the device charges time and energy again (and, on flash,
+        burns another out-of-place allocation — retried programs are real
+        wear), and the foreground response stretches accordingly.
+        """
+        completion = self.device.write(at, size, blocks, file_id)
+        if self.faults is None:
+            return completion
+        retries, recovered = self.faults.write_failures()
+        for attempt in range(retries):
+            delay = self.retry.backoff(attempt)
+            self.reliability.write_retries += 1
+            self.reliability.retry_delay_s += delay
+            completion = self.device.write(completion + delay, size, blocks, file_id)
+        if not recovered:
+            self._unrecovered("write", blocks)
+        return completion
+
+    def _unrecovered(self, kind: str, blocks: Any) -> None:
+        self.reliability.unrecovered_errors += 1
+        if self.faults.plan.fail_fast:
+            raise UnrecoverableDeviceError(
+                f"{kind} of blocks {list(blocks)[:4]}... still failing after "
+                f"{self.faults.plan.max_retries} retries"
+            )
+
+    # -- protocol --------------------------------------------------------------------
+
+    def accepts_immediate_flush(self) -> bool:
+        return self.device.accepts_immediate_flush()
+
+    def advance(self, until: float) -> None:
+        if until > self.device.clock:
+            self.device.advance(until)
+
+    def crash(self, at: float) -> None:
+        """Cut power: any in-flight operation is torn and truncated."""
+        self.device.power_cycle(at)
+
+    def recover(self, at: float, scan_s: float) -> float:
+        """Run the post-crash recovery scan; returns its completion time."""
+        return self.device.recover(at, scan_s)
+
+    def replay(self, at: float, blocks: list[int]) -> float:
+        """Replay battery-backed blocks during recovery.
+
+        Bypasses fault injection: recovery code paths verify each write,
+        so a transient fault costs nothing extra here.
+        """
+        return self.device.write(
+            at, len(blocks) * self.block_bytes, blocks, FLUSH_FILE_ID
+        )
+
+    def finalize(self, until: float) -> None:
+        """Nothing buffered here: the device is the non-volatile bottom."""
+
+    def snapshot(self) -> dict[str, float]:
+        return self.device.stats()
+
+    def frontier(self) -> float:
+        device = self.device
+        return max(device.busy_until, device.clock)
+
+
+class LayerStack:
+    """A composed chain of storage layers ending in a device.
+
+    The stack owns the request lifecycle: it emits ``on_submit``, advances
+    every layer to the request's issue time, dispatches to the top layer,
+    and emits ``on_complete`` with the finished response.  Crash/recovery
+    is orchestrated here too, because it spans layers: the device tears,
+    DRAM drops, SRAM replays.
+    """
+
+    def __init__(
+        self,
+        layers: list[StorageLayer],
+        block_bytes: int,
+        injector: "FaultInjector | None" = None,
+        reliability: ReliabilityMeter | None = None,
+        hooks: HookBus | None = None,
+    ) -> None:
+        if not layers or not isinstance(layers[-1], DeviceLayer):
+            raise SimulationError("a LayerStack must end in a DeviceLayer")
+        self.layers = list(layers)
+        for upper, lower in zip(self.layers, self.layers[1:]):
+            upper.downstream = lower
+        self.block_bytes = block_bytes
+        self.faults = injector
+        self.reliability = reliability
+        self.hooks = hooks if hooks is not None else HookBus()
+        self.head = self.layers[0]
+        self.device_layer: DeviceLayer = self.layers[-1]  # type: ignore[assignment]
+        self._by_name = {layer.name: layer for layer in self.layers}
+        # Bound per-layer advance methods: advance runs once per request,
+        # so the stack pays for method resolution once, here.
+        self._advances = tuple(layer.advance for layer in self.layers)
+        self._head_submit = self.head.submit
+
+    # -- lookup ------------------------------------------------------------------
+
+    def layer(self, name: str) -> StorageLayer | None:
+        """The layer registered under ``name``, or None."""
+        return self._by_name.get(name)
+
+    @property
+    def device(self) -> StorageDevice:
+        return self.device_layer.device
+
+    # -- request lifecycle ---------------------------------------------------------
+
+    def submit(self, op: "BlockOp") -> Response:
+        """Run one preprocessed trace operation through the stack."""
+        request = Request.from_op(op, self.block_bytes)
+        hooks = self.hooks
+        for hook in hooks.submit_hooks:
+            hook(request)
+        time = request.time
+        for advance in self._advances:
+            advance(time)
+        response = self._head_submit(request)
+        for hook in hooks.complete_hooks:
+            hook(response)
+        return response
+
+    # -- time/energy bookkeeping ---------------------------------------------------
+
+    def advance(self, until: float) -> None:
+        """Move every layer's accounting clock forward to ``until``."""
+        for advance in self._advances:
+            advance(until)
+
+    def latest_time(self) -> float:
+        """The latest point any layer has reached."""
+        latest = 0.0
+        for layer in self.layers:
+            frontier = layer.frontier()
+            if frontier > latest:
+                latest = frontier
+        return latest
+
+    def finalize(self, until: float) -> None:
+        """Flush volatile dirty state and close energy accounting."""
+        for layer in self.layers:
+            layer.finalize(self.latest_time())
+        end = max(until, self.latest_time())
+        self.advance(end)
+
+    def reset_accounting(self) -> None:
+        """Zero all energy meters and counters (warm-start boundary)."""
+        self.device.reset_accounting()
+        dram = self.layer("dram")
+        if dram is not None:
+            dram.cache.reset_accounting()  # type: ignore[attr-defined]
+        sram = self.layer("sram")
+        if sram is not None:
+            sram.buffer.reset_accounting()  # type: ignore[attr-defined]
+        if self.reliability is not None:
+            self.reliability.reset()
+
+    def energy_breakdown(self) -> dict[str, dict[str, float]]:
+        """Per-component, per-bucket energy in Joules."""
+        breakdown = {"device": self.device.energy.breakdown()}
+        dram = self.layer("dram")
+        if dram is not None:
+            breakdown["dram"] = dram.cache.energy.breakdown()  # type: ignore[attr-defined]
+        sram = self.layer("sram")
+        if sram is not None:
+            breakdown["sram"] = sram.buffer.energy.breakdown()  # type: ignore[attr-defined]
+        return breakdown
+
+    @property
+    def total_energy_j(self) -> float:
+        """Total energy across all layers, Joules."""
+        return sum(
+            sum(buckets.values()) for buckets in self.energy_breakdown().values()
+        )
+
+    def layer_energy(self) -> dict[str, float]:
+        """Run-level energy per attribution key, summing to the total.
+
+        The device's flash-reclamation buckets are split out under
+        ``cleaning`` so the breakdown mirrors per-request attribution.
+        """
+        components = self.energy_breakdown()
+        device_total = sum(components["device"].values())
+        clean_total = self.device.cleaning_costs()[1]
+        energies: dict[str, float] = {}
+        if clean_total:
+            energies[CLEANING_LAYER] = clean_total
+        energies["device"] = device_total - clean_total
+        for name in ("dram", "sram"):
+            if name in components:
+                energies[name] = sum(components[name].values())
+        return energies
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Per-layer counter snapshots, by layer name."""
+        return {layer.name: layer.snapshot() for layer in self.layers}
+
+    # -- crash / recovery ------------------------------------------------------------
+
+    def crash(self, at: float) -> None:
+        """Lose power at trace time ``at`` and recover.
+
+        Semantics (paper sections 4.2 and 5.5): in-flight device work is
+        torn; the volatile DRAM cache drops (write-back dirty blocks are
+        lost outright); the battery-backed SRAM survives and replays its
+        dirty blocks during recovery; recovery costs a metadata scan plus
+        the replay writes, charged to the device's ``recovery`` bucket and
+        the run's recovery-time counter.
+        """
+        meter = self.reliability
+        meter.power_losses += 1
+        device = self.device
+        if device.busy_until > at + 1e-12:
+            meter.torn_writes += 1
+        self.advance(at)
+        self.device_layer.crash(at)
+
+        dram = self.layer("dram")
+        if dram is not None:
+            resident, dirty = dram.crash(at)
+            meter.dropped_cache_blocks += resident
+            meter.lost_dirty_blocks += dirty
+
+        energy_before = device.energy.total_j
+        now = self.device_layer.recover(at, recovery_scan_s(device, self.faults.plan))
+        sram = self.layer("sram")
+        if sram is not None and sram.buffer.dirty_count:  # type: ignore[attr-defined]
+            blocks = sram.crash(at)
+            meter.replayed_blocks += len(blocks)
+            now = self.device_layer.replay(now, blocks)
+        meter.recovery_time_s += now - at
+        meter.recovery_energy_j += device.energy.total_j - energy_before
+        self.hooks.emit_crash(at, now)
+
+    def fire_pending_power_losses(self, until: float) -> int:
+        """Deliver every scheduled power loss at or before ``until``.
+
+        Returns the number of crashes fired.  This is the primitive both
+        the simulator's ``on_submit`` subscriber and its post-trace drain
+        loop use, so ordering is identical in both places.
+        """
+        if self.faults is None:
+            return 0
+        fired = 0
+        while (loss_at := self.faults.next_power_loss(until)) is not None:
+            self.crash(loss_at)
+            fired += 1
+        return fired
+
+    def reliability_snapshot(self):
+        """Frozen reliability stats, or None when no faults were injected."""
+        if self.reliability is None:
+            return None
+        return self.reliability.snapshot(self.device)

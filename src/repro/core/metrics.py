@@ -1,4 +1,4 @@
-"""Response-time statistics.
+"""Response-time statistics and the hook-driven metrics collector.
 
 The paper reports mean, maximum, and standard deviation of read and write
 response times (Tables 4a-c).  :class:`ResponseAccumulator` collects them
@@ -6,6 +6,11 @@ online with Welford's algorithm so simulations never hold per-operation
 lists in memory; a deterministic reservoir sample additionally yields
 percentile estimates (an extension the paper's tables lack but its
 worst-case discussion clearly wants).
+
+:class:`MetricsCollector` is the simulator's ``on_complete`` subscriber on
+the :class:`~repro.core.hooks.HookBus`: it feeds the accumulators and sums
+each response's per-layer ``(latency, energy)`` attribution, which is what
+becomes ``SimulationResult.layer_breakdown``.
 """
 
 from __future__ import annotations
@@ -13,6 +18,12 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.request import RequestKind
+
+if TYPE_CHECKING:
+    from repro.core.request import Response
 
 #: Reservoir size for percentile estimation: exact percentiles up to this
 #: many observations, a uniform sample beyond it.
@@ -94,6 +105,68 @@ class ResponseAccumulator:
             p95_s=self.percentile(0.95),
             p99_s=self.percentile(0.99),
         )
+
+
+class MetricsCollector:
+    """Aggregates responses delivered via the hook bus.
+
+    The collector stays quiet during the warm-start prefix
+    (``measuring=False``); the simulator's warm-boundary reset flips it on.
+    Crash recoveries do not pass through ``on_complete`` and therefore
+    never pollute the response statistics, exactly as before.
+    """
+
+    def __init__(self, measuring: bool = True) -> None:
+        self.read = ResponseAccumulator()
+        self.write = ResponseAccumulator()
+        self.overall = ResponseAccumulator()
+        self.n_deletes = 0
+        # {layer: [latency_s, energy_j]} — a mutable pair per layer keeps
+        # the per-response accumulation to one dict lookup.
+        self._layer_cells: dict[str, list[float]] = {}
+        self.measuring = measuring
+
+    @property
+    def layer_latency_s(self) -> dict[str, float]:
+        """Summed foreground latency attributed to each layer, seconds."""
+        return {name: cell[0] for name, cell in self._layer_cells.items()}
+
+    @property
+    def layer_energy_j(self) -> dict[str, float]:
+        """Summed per-request active energy attributed to each layer, Joules."""
+        return {name: cell[1] for name, cell in self._layer_cells.items()}
+
+    def observe(self, response: "Response") -> None:
+        """The ``on_complete`` subscriber: record one finished response."""
+        if not self.measuring:
+            return
+        kind = response.request.kind
+        if kind is RequestKind.DELETE:
+            self.n_deletes += 1
+            return
+        value = response.response_s
+        if kind is RequestKind.READ:
+            self.read.add(value)
+        else:
+            self.write.add(value)
+        self.overall.add(value)
+        cells = self._layer_cells
+        for name, cost in response.attribution.items():
+            cell = cells.get(name)
+            if cell is None:
+                cells[name] = [cost[0], cost[1]]
+            else:
+                cell[0] += cost[0]
+                cell[1] += cost[1]
+
+    def reset(self) -> None:
+        """Warm-start boundary: discard the prefix and start measuring."""
+        self.read.reset()
+        self.write.reset()
+        self.overall.reset()
+        self.n_deletes = 0
+        self._layer_cells.clear()
+        self.measuring = True
 
 
 @dataclass(frozen=True, slots=True)

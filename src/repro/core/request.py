@@ -1,0 +1,154 @@
+"""Request/Response objects carried through the :class:`LayerStack`.
+
+The paper's core claim (sections 4-5) is that end-to-end response time and
+energy are *sums of per-layer contributions*: the DRAM hit, the SRAM
+absorb, the spin-up, the flash cleaning stall.  A :class:`Request` is one
+operation travelling down the stack; the :class:`Response` that comes back
+carries the issue/complete timestamps plus a per-layer ``(latency_s,
+energy_j)`` attribution, so every simulated operation can say exactly
+where its time and energy went.
+
+These objects are allocated once per trace operation on the simulator's
+hottest path; everything here is ``__slots__``-based and validation-free
+by design (the trace preprocessing already validated the operations).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+from repro.traces.record import Operation
+
+if TYPE_CHECKING:
+    from repro.traces.record import BlockOp
+
+#: pseudo file id used for batched buffer flushes (forces one average seek)
+FLUSH_FILE_ID = -1
+
+
+class RequestKind(enum.Enum):
+    """What a request asks a layer to do.
+
+    ``FLUSH`` is an internal kind: a batch of buffered blocks travelling
+    toward the device (SRAM drains, write-back evictions).  Intermediate
+    layers forward it verbatim — a flush must not be re-absorbed by the
+    buffer that just emitted it.
+    """
+
+    READ = "read"
+    WRITE = "write"
+    DELETE = "delete"
+    FLUSH = "flush"
+
+
+class Request:
+    """One operation travelling down the layer stack.
+
+    Attributes:
+        kind: what the receiving layer should do.
+        time: issue time in trace seconds.  Sub-requests created by a
+            layer carry the time at which the parent layer finished its
+            own part of the work.
+        blocks: device block numbers touched, in transfer order.
+        size: transfer length in bytes (the file-level size for writes,
+            ``len(blocks) * block_bytes`` for everything else).
+        file_id: originating file (drives the same-file no-seek rule).
+        background: the request rides behind a device access that already
+            happened — it costs device time and energy but must not delay
+            the foreground response.
+    """
+
+    __slots__ = ("kind", "time", "blocks", "size", "file_id", "background")
+
+    def __init__(
+        self,
+        kind: RequestKind,
+        time: float,
+        blocks: Sequence[int],
+        size: int,
+        file_id: int,
+        background: bool = False,
+    ) -> None:
+        self.kind = kind
+        self.time = time
+        self.blocks = blocks
+        self.size = size
+        self.file_id = file_id
+        self.background = background
+
+    @classmethod
+    def from_op(cls, op: "BlockOp", block_bytes: int) -> "Request":
+        """The top-of-stack request for one preprocessed trace operation."""
+        if op.op is Operation.READ:
+            # Reads are served block-granular everywhere below the file
+            # system, so the in-stack size is the block footprint.
+            return cls(
+                RequestKind.READ, op.time, op.blocks,
+                len(op.blocks) * block_bytes, op.file_id,
+            )
+        if op.op is Operation.WRITE:
+            return cls(RequestKind.WRITE, op.time, op.blocks, op.size, op.file_id)
+        return cls(RequestKind.DELETE, op.time, op.blocks, op.size, op.file_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flag = " bg" if self.background else ""
+        return (
+            f"Request({self.kind.value} t={self.time:.6f} "
+            f"{len(self.blocks)} blk{flag})"
+        )
+
+
+class Response:
+    """The completed journey of one :class:`Request` through the stack.
+
+    ``attribution`` maps layer name -> ``(latency_s, energy_j)``; the
+    latency components sum (to float precision) to ``response_s``, because
+    every second of a response is charged to exactly one layer.  Energy
+    components cover the *active* energy the request caused; standby and
+    idle energy accrues to the layers between requests and appears only in
+    the run-level breakdown.
+    """
+
+    __slots__ = ("request", "issued_at", "completed_at", "attribution")
+
+    def __init__(self, request: Request, issued_at: float) -> None:
+        self.request = request
+        self.issued_at = issued_at
+        self.completed_at = issued_at
+        self.attribution: dict[str, tuple[float, float]] = {}
+
+    @property
+    def response_s(self) -> float:
+        """Foreground response time in seconds."""
+        return self.completed_at - self.issued_at
+
+    def attribute(self, layer: str, latency_s: float, energy_j: float) -> None:
+        """Charge ``latency_s``/``energy_j`` of this request to ``layer``."""
+        attribution = self.attribution
+        cost = attribution.get(layer)
+        if cost is None:
+            attribution[layer] = (latency_s, energy_j)
+        else:
+            attribution[layer] = (cost[0] + latency_s, cost[1] + energy_j)
+
+    @property
+    def attributed_latency_s(self) -> float:
+        """Sum of the per-layer latency components."""
+        return sum(cost[0] for cost in self.attribution.values())
+
+    @property
+    def attributed_energy_j(self) -> float:
+        """Sum of the per-layer active-energy components."""
+        return sum(cost[1] for cost in self.attribution.values())
+
+    def breakdown(self) -> dict[str, tuple[float, float]]:
+        """Frozen ``{layer: (latency_s, energy_j)}`` view."""
+        return dict(self.attribution)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Response({self.request.kind.value} {self.response_s * 1e3:.3f} ms "
+            f"via {list(self.attribution)})"
+        )

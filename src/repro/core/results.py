@@ -47,6 +47,11 @@ class SimulationResult:
     wear: WearStats | None = None
     #: fault-injection outcome (None when no fault plan was configured)
     reliability: ReliabilityStats | None = None
+    #: per-layer cost over the measurement window:
+    #: {"dram": {"latency_s": .., "energy_j": ..}, "device": .., ...}.
+    #: Latencies sum to the total foreground response time, energies to
+    #: ``energy_j`` (flash cleaning split out as its own pseudo-layer).
+    layer_breakdown: dict[str, dict[str, float]] = field(default_factory=dict)
     #: extra per-experiment annotations
     extra: dict[str, Any] = field(default_factory=dict)
 
@@ -110,6 +115,7 @@ class SimulationResult:
             "n_deletes": self.n_deletes,
             "device_stats": self.device_stats,
             "dram_hit_rate": self.dram_hit_rate,
+            "layer_breakdown": self.layer_breakdown,
         }
         if self.reliability is not None:
             record["reliability"] = self.reliability.to_dict()

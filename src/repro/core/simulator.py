@@ -6,19 +6,26 @@ methodology follows the paper's section 4.2: file-level records are
 preprocessed into disk-level operations, the first 10% of the trace warms
 the caches (its statistics and energy are discarded), and the remainder is
 measured.
+
+The engine itself is a thin loop: every cross-cutting concern rides the
+hierarchy's hook bus.  Scheduled power losses fire from an ``on_submit``
+subscriber (each loss strictly precedes the request that would overtake
+it), and all statistics flow through a
+:class:`~repro.core.metrics.MetricsCollector` subscribed to
+``on_complete``.
 """
 
 from __future__ import annotations
 
 from repro.core.config import SimulationConfig
 from repro.core.hierarchy import StorageHierarchy, build_hierarchy
-from repro.core.metrics import ResponseAccumulator
+from repro.core.layers import CLEANING_LAYER
+from repro.core.metrics import MetricsCollector
 from repro.core.results import SimulationResult
 from repro.devices.flashcard import FlashCard
-from repro.errors import SimulationError, TraceError
+from repro.errors import TraceError
 from repro.faults.injector import FaultInjector
 from repro.traces.filemap import FileMapper
-from repro.traces.record import Operation
 from repro.traces.trace import Trace
 
 
@@ -59,50 +66,36 @@ class Simulator:
             )
         warm_count = int(len(ops) * config.warm_fraction)
 
-        read_acc = ResponseAccumulator()
-        write_acc = ResponseAccumulator()
-        overall_acc = ResponseAccumulator()
-        n_deletes = 0
-        measured_start = ops[warm_count].time if warm_count < len(ops) else 0.0
+        collector = MetricsCollector(measuring=warm_count == 0)
+        hierarchy.hooks.on_complete(collector.observe)
+        if injector is not None:
+            # Fire every scheduled power loss that precedes a request.  The
+            # subscription lives here, not in the hierarchy, so that direct
+            # hierarchy use (tests, tools) never fires losses implicitly.
+            stack = hierarchy.stack
+            hierarchy.hooks.on_submit(
+                lambda request: stack.fire_pending_power_losses(request.time)
+            )
 
+        submit = hierarchy.stack.submit
         for index, op in enumerate(ops):
             if index == warm_count and warm_count > 0:
                 hierarchy.reset_accounting()
-                read_acc.reset()
-                write_acc.reset()
-                overall_acc.reset()
-                n_deletes = 0
-            measured = index >= warm_count
-
-            if injector is not None:
-                # Fire every scheduled power loss that precedes this request.
-                while (loss_at := injector.next_power_loss(op.time)) is not None:
-                    hierarchy.crash(loss_at)
-
-            if op.op is Operation.READ:
-                response = hierarchy.read(op)
-                if measured:
-                    read_acc.add(response)
-                    overall_acc.add(response)
-            elif op.op is Operation.WRITE:
-                response = hierarchy.write(op)
-                if measured:
-                    write_acc.add(response)
-                    overall_acc.add(response)
-            elif op.op is Operation.DELETE:
-                hierarchy.delete(op)
-                if measured:
-                    n_deletes += 1
-            else:  # pragma: no cover - Operation is closed
-                raise SimulationError(f"unknown operation {op.op!r}")
+                collector.reset()
+            submit(op)
 
         if injector is not None:
             # Power losses scheduled after the last request still happen.
-            while (loss_at := injector.next_power_loss(float("inf"))) is not None:
-                hierarchy.crash(loss_at)
+            hierarchy.stack.fire_pending_power_losses(float("inf"))
 
         end_time = max(trace.duration, hierarchy.latest_time())
         hierarchy.finalize(end_time)
+        if warm_count < len(ops):
+            measured_start = ops[warm_count].time
+        else:
+            # The whole trace was warm-up: the measurement window is empty,
+            # so its duration must be zero (not end-to-end wall time).
+            measured_start = end_time
         duration = max(0.0, end_time - measured_start)
 
         device = hierarchy.device
@@ -116,17 +109,40 @@ class Simulator:
             duration_s=duration,
             energy_j=hierarchy.total_energy_j,
             energy_breakdown=hierarchy.energy_breakdown(),
-            read_response=read_acc.snapshot(),
-            write_response=write_acc.snapshot(),
-            overall_response=overall_acc.snapshot(),
-            n_reads=read_acc.count,
-            n_writes=write_acc.count,
-            n_deletes=n_deletes,
+            read_response=collector.read.snapshot(),
+            write_response=collector.write.snapshot(),
+            overall_response=collector.overall.snapshot(),
+            n_reads=collector.read.count,
+            n_writes=collector.write.count,
+            n_deletes=collector.n_deletes,
             device_stats=device.stats(),
             dram_hit_rate=dram_hit_rate,
             wear=wear,
             reliability=hierarchy.reliability_snapshot(),
+            layer_breakdown=_layer_breakdown(hierarchy, collector),
         )
+
+
+def _layer_breakdown(
+    hierarchy: StorageHierarchy, collector: MetricsCollector
+) -> dict[str, dict[str, float]]:
+    """Per-layer ``{latency_s, energy_j}`` over the measurement window.
+
+    Latency comes from the per-request attribution sums; energy comes from
+    the layers' energy meters (so standby/idle energy between requests is
+    included and the components sum to the run total).
+    """
+    energies = hierarchy.stack.layer_energy()
+    names = [layer.name for layer in hierarchy.stack.layers]
+    if CLEANING_LAYER in energies or CLEANING_LAYER in collector.layer_latency_s:
+        names.append(CLEANING_LAYER)
+    return {
+        name: {
+            "latency_s": collector.layer_latency_s.get(name, 0.0),
+            "energy_j": energies.get(name, 0.0),
+        }
+        for name in names
+    }
 
 
 def simulate(trace: Trace, config: SimulationConfig | None = None) -> SimulationResult:

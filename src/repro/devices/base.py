@@ -36,6 +36,10 @@ class AccessKind(enum.Enum):
 class StorageDevice(ABC):
     """Abstract base class for non-volatile storage devices."""
 
+    #: True for devices whose ``cleaning_costs`` can be non-zero; lets the
+    #: request path skip reclamation accounting entirely for the rest.
+    has_cleaning = False
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.energy = EnergyMeter(name)
@@ -88,6 +92,17 @@ class StorageDevice(ABC):
     def delete(self, at: float, blocks: Sequence[int]) -> None:
         """Free ``blocks`` (trim).  Default: metadata-only no-op."""
         self.advance(at)
+
+    def cleaning_costs(self) -> tuple[float, float]:
+        """Cumulative flash-reclamation cost: ``(stall_s, energy_j)``.
+
+        ``stall_s`` is foreground time requests spent waiting on cleaning;
+        ``energy_j`` is all energy charged to reclamation work (cleaning
+        copies, erases).  Devices without reclamation report zeros.  The
+        request path takes deltas of this around each operation to
+        attribute cleaning as its own layer cost.
+        """
+        return 0.0, 0.0
 
     def accepts_immediate_flush(self) -> bool:
         """Should a write buffer drain to this device right away?

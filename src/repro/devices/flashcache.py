@@ -245,6 +245,12 @@ class FlashCacheDevice(StorageDevice):
     def energy(self, value) -> None:
         pass
 
+    has_cleaning = True
+
+    def cleaning_costs(self) -> tuple[float, float]:
+        """Reclamation happens on the flash cache; the disk never cleans."""
+        return self.flash.cleaning_costs()
+
     def reset_accounting(self) -> None:
         self.disk.reset_accounting()
         self.flash.reset_accounting()
@@ -285,6 +291,12 @@ class _MergedMeter:
     def total_j(self) -> float:
         return (
             self._owner.disk.energy.total_j + self._owner.flash.energy.total_j
+        )
+
+    @property
+    def running_j(self) -> float:
+        return (
+            self._owner.disk.energy.running_j + self._owner.flash.energy.running_j
         )
 
     def breakdown(self) -> dict[str, float]:

@@ -476,6 +476,12 @@ class FlashCard(StorageDevice):
 
     # -- reporting ---------------------------------------------------------------
 
+    has_cleaning = True
+
+    def cleaning_costs(self) -> tuple[float, float]:
+        """Foreground stall time plus all energy charged to cleaning."""
+        return self.write_stall_s, self.energy.bucket_j("clean")
+
     def reset_accounting(self) -> None:
         super().reset_accounting()
         self.segments_cleaned = 0

@@ -198,6 +198,13 @@ class FlashDisk(StorageDevice):
 
     # -- reporting ---------------------------------------------------------------
 
+    has_cleaning = True
+
+    def cleaning_costs(self) -> tuple[float, float]:
+        """Erasure is reclamation work; its wait is folded into write
+        durations, so only the energy is separable."""
+        return 0.0, self.energy.bucket_j("erase")
+
     def reset_accounting(self) -> None:
         super().reset_accounting()
         self.pre_erased_sector_writes = 0

@@ -22,6 +22,10 @@ class EnergyMeter:
     def __init__(self, owner: str) -> None:
         self.owner = owner
         self._buckets: dict[str, float] = {}
+        #: running sum of all charges; cheap to read on the hot path, but
+        #: accumulated in charge order, so only ``total_j`` (a fresh bucket
+        #: sum) is used for *reported* totals.
+        self.running_j = 0.0
 
     def charge(self, bucket: str, power_w: float, duration_s: float) -> None:
         """Add ``power_w * duration_s`` Joules to ``bucket``."""
@@ -31,18 +35,25 @@ class EnergyMeter:
             )
         if duration_s <= 0.0 or power_w <= 0.0:
             return
-        self._buckets[bucket] = self._buckets.get(bucket, 0.0) + power_w * duration_s
+        joules = power_w * duration_s
+        self._buckets[bucket] = self._buckets.get(bucket, 0.0) + joules
+        self.running_j += joules
 
     def charge_energy(self, bucket: str, energy_j: float) -> None:
         """Add a precomputed energy amount to ``bucket``."""
         if energy_j <= 0.0:
             return
         self._buckets[bucket] = self._buckets.get(bucket, 0.0) + energy_j
+        self.running_j += energy_j
 
     @property
     def total_j(self) -> float:
         """Total energy across all buckets, in Joules."""
         return sum(self._buckets.values())
+
+    def bucket_j(self, bucket: str) -> float:
+        """Energy accumulated in one named bucket, in Joules."""
+        return self._buckets.get(bucket, 0.0)
 
     def breakdown(self) -> dict[str, float]:
         """A copy of the per-bucket totals, in Joules."""
@@ -51,6 +62,7 @@ class EnergyMeter:
     def reset(self) -> None:
         """Zero all buckets (used at the end of the warm-start prefix)."""
         self._buckets.clear()
+        self.running_j = 0.0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"EnergyMeter({self.owner!r}, total={self.total_j:.3f} J)"

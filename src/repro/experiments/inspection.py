@@ -1,0 +1,221 @@
+"""Per-layer inspection of an experiment's request path.
+
+``repro inspect <experiment>`` answers "where does the time and energy of
+this experiment's simulations actually go?" — the question the paper's
+per-layer arithmetic (DRAM hit vs. spin-up vs. flash cleaning) poses but
+its tables never show directly.  For each registered experiment this
+module runs a small set of *probes* — representative (trace, config)
+cells taken from the experiment's own sweep — and renders the
+``SimulationResult.layer_breakdown`` of each: latency and energy charged
+to every layer over the measurement window, with its share of the run
+totals.
+
+The rendering double-checks the tentpole invariant: the per-layer
+components must sum to the reported totals (foreground response time and
+``energy_j``).  A mismatch makes the CLI exit non-zero, so the inspect
+command is also a cheap end-to-end attribution check.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.config import SimulationConfig
+from repro.core.results import SimulationResult
+from repro.core.simulator import simulate
+from repro.experiments.base import ExperimentResult, Table
+from repro.experiments.registry import get_experiment
+from repro.experiments.traces_cache import dram_for, trace_for
+from repro.units import KB, MB
+
+#: Relative tolerance for "components sum to the totals".  Attribution
+#: accumulates per-request in a different order than the run totals, so
+#: bit equality is not expected — float addition is not associative —
+#: but anything beyond ~1e-6 relative would mean lost or double-counted
+#: work, not rounding.
+_LATENCY_REL_TOL = 1e-6
+_ENERGY_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Probe:
+    """One representative simulation cell of an experiment."""
+
+    label: str
+    trace_name: str
+    config_kwargs: dict[str, Any] = field(default_factory=dict)
+
+    def config(self) -> SimulationConfig:
+        return SimulationConfig(**self.config_kwargs)
+
+
+def _standard(trace_name: str, device: str, label: str | None = None,
+              **overrides: Any) -> Probe:
+    """A probe at the paper's Table 4 settings, with overrides."""
+    kwargs: dict[str, Any] = dict(
+        device=device,
+        dram_bytes=dram_for(trace_name),
+        spin_down_timeout_s=5.0,
+        flash_utilization=0.8,
+    )
+    kwargs.update(overrides)
+    return Probe(label or f"{trace_name} on {device}", trace_name, kwargs)
+
+
+#: One probe per device class on the paper's primary trace — used for any
+#: experiment without a more specific probe set below.
+_DEFAULT_PROBES = (
+    _standard("mac", "cu140-datasheet"),
+    _standard("mac", "sdp5-datasheet"),
+    _standard("mac", "intel-datasheet"),
+)
+
+#: Experiment-specific probes, mirroring each driver's own sweep axis.
+_PROBES: dict[str, tuple[Probe, ...]] = {
+    "fig2": (
+        _standard("mac", "intel-datasheet", "mac, 80% utilized",
+                  flash_utilization=0.80),
+        _standard("mac", "intel-datasheet", "mac, 95% utilized",
+                  flash_utilization=0.95),
+    ),
+    "fig5": (
+        _standard("mac", "cu140-datasheet", "mac, no SRAM", sram_bytes=0),
+        _standard("mac", "cu140-datasheet", "mac, 32 KB SRAM",
+                  sram_bytes=32 * KB),
+        _standard("mac", "cu140-datasheet", "mac, 1 MB SRAM",
+                  sram_bytes=1024 * KB),
+    ),
+    "validation": (
+        Probe("synth on cu140-measured (testbed settings)", "synth",
+              dict(device="cu140-measured", dram_bytes=0, sram_bytes=0,
+                   spin_down_timeout_s=None)),
+        Probe("synth on intel-measured (testbed settings)", "synth",
+              dict(device="intel-measured", dram_bytes=0, sram_bytes=0,
+                   spin_down_timeout_s=None)),
+    ),
+    "flashcache": (
+        Probe("mac, plain cu140-datasheet", "mac",
+              dict(device="cu140-datasheet", dram_bytes=dram_for("mac"))),
+        Probe("mac, cu140-datasheet + 4 MB flash cache", "mac",
+              dict(device="cu140-datasheet", dram_bytes=dram_for("mac"),
+                   flash_cache_bytes=4 * MB)),
+    ),
+    "ablation-spindown": (
+        _standard("mac", "cu140-datasheet", "mac, spin-down 0.5 s",
+                  spin_down_timeout_s=0.5),
+        _standard("mac", "cu140-datasheet", "mac, spin-down 5 s",
+                  spin_down_timeout_s=5.0),
+        _standard("mac", "cu140-datasheet", "mac, never spins down",
+                  spin_down_timeout_s=None),
+    ),
+    "ablation-writeback": (
+        _standard("mac", "cu140-datasheet", "mac, write-through",
+                  write_back=False),
+        _standard("mac", "cu140-datasheet", "mac, write-back",
+                  write_back=True),
+    ),
+}
+
+#: Experiments that run no storage simulation at all (static registry
+#: tables, testbed micro-benchmarks, trace statistics): inspect falls back
+#: to the default probes and says so.
+_NO_SIMULATION = frozenset({"table1", "table2", "table3", "fig1", "fig3"})
+
+
+def probes_for(experiment_id: str) -> tuple[Probe, ...]:
+    """The probe set ``repro inspect`` runs for ``experiment_id``."""
+    return _PROBES.get(experiment_id, _DEFAULT_PROBES)
+
+
+def _breakdown_table(label: str, result: SimulationResult) -> tuple[Table, bool]:
+    """Render one result's layer breakdown; returns (table, sums_ok)."""
+    breakdown = result.layer_breakdown
+    latency_sum = sum(cell["latency_s"] for cell in breakdown.values())
+    energy_sum = sum(cell["energy_j"] for cell in breakdown.values())
+    # The run totals the components must reproduce: summed foreground
+    # response time over the measurement window, and total energy.
+    overall = result.overall_response
+    latency_total = overall.mean_s * overall.count
+    energy_total = result.energy_j
+
+    rows = []
+    for name, cell in breakdown.items():
+        rows.append(
+            (
+                name,
+                round(cell["latency_s"], 6),
+                _share(cell["latency_s"], latency_total),
+                round(cell["energy_j"], 3),
+                _share(cell["energy_j"], energy_total),
+            )
+        )
+    rows.append(
+        ("total", round(latency_total, 6), "100%", round(energy_total, 3), "100%")
+    )
+    ok = math.isclose(
+        latency_sum, latency_total, rel_tol=_LATENCY_REL_TOL, abs_tol=1e-9
+    ) and math.isclose(
+        energy_sum, energy_total, rel_tol=_ENERGY_REL_TOL, abs_tol=1e-9
+    )
+    title = (
+        f"{label} — {result.device_name}, "
+        f"{overall.count} measured ops"
+    )
+    table = Table(
+        title=title,
+        headers=("layer", "latency s", "lat %", "energy J", "en %"),
+        rows=tuple(rows),
+    )
+    return table, ok
+
+
+def _share(value: float, total: float) -> str:
+    if total <= 0:
+        return "-"
+    return f"{100.0 * value / total:.1f}%"
+
+
+def inspect_experiment(
+    experiment_id: str, scale: float = 0.1, seed: int | None = None
+) -> tuple[ExperimentResult, bool]:
+    """Run the experiment's probes and render their layer breakdowns.
+
+    Returns ``(report, ok)``: ``ok`` is False if any probe's per-layer
+    components failed to sum to its reported totals.
+    """
+    experiment = get_experiment(experiment_id)  # validates the id
+    tables = []
+    all_ok = True
+    for probe in probes_for(experiment_id):
+        trace = trace_for(probe.trace_name, scale, seed=seed)
+        result = simulate(trace, probe.config())
+        table, ok = _breakdown_table(probe.label, result)
+        tables.append(table)
+        all_ok = all_ok and ok
+    notes = [
+        "latency: foreground response time attributed to the layer that "
+        "spent it; energy: the layer's meter over the measurement window "
+        "(idle/standby included), so each column sums to the run total.",
+    ]
+    if experiment_id in _NO_SIMULATION:
+        notes.insert(
+            0,
+            f"{experiment_id} runs no storage simulation (static tables or "
+            "testbed micro-benchmarks); showing the standard probes instead.",
+        )
+    if not all_ok:
+        notes.append(
+            "ATTRIBUTION MISMATCH: a probe's per-layer components do not "
+            "sum to its reported totals — the request path is losing or "
+            "double-counting work.",
+        )
+    report = ExperimentResult(
+        experiment_id=f"inspect:{experiment_id}",
+        title=f"Per-layer attribution for {experiment.title!r}",
+        tables=tuple(tables),
+        notes=tuple(notes),
+        scale=scale,
+    )
+    return report, all_ok

@@ -1,0 +1,71 @@
+"""``repro inspect``: per-layer attribution reports for experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+from repro.errors import ConfigurationError
+from repro.experiments.inspection import (
+    inspect_experiment,
+    probes_for,
+)
+
+
+def test_inspect_components_sum_to_totals():
+    report, ok = inspect_experiment("validation", scale=0.05)
+    assert ok, "per-layer components must sum to the run totals"
+    text = report.render()
+    assert "layer" in text
+    assert "device" in text
+    assert "total" in text
+
+
+def test_inspect_flash_probe_reports_cleaning_layer():
+    # table4's default probes include a flash card, whose reclamation work
+    # must surface as the attributed `cleaning` pseudo-layer.
+    report, ok = inspect_experiment("table4", scale=0.02)
+    assert ok
+    text = report.render()
+    assert "cleaning" in text
+    assert "intel-datasheet" in text
+
+
+def test_inspect_unknown_experiment_raises():
+    with pytest.raises(ConfigurationError):
+        inspect_experiment("does-not-exist")
+
+
+def test_inspect_no_simulation_experiments_fall_back():
+    report, ok = inspect_experiment("table2", scale=0.02)
+    assert ok
+    assert any("no storage simulation" in note for note in report.notes)
+
+
+def test_probe_registry_keys_are_real_experiment_ids():
+    from repro.experiments.inspection import _NO_SIMULATION, _PROBES
+    from repro.experiments.registry import all_experiments
+
+    known = set(all_experiments())
+    assert set(_PROBES) <= known
+    assert set(_NO_SIMULATION) <= known
+
+
+def test_probe_registry_covers_specialized_experiments():
+    assert probes_for("fig5") != probes_for("table4")
+    labels = [probe.label for probe in probes_for("fig5")]
+    assert any("SRAM" in label for label in labels)
+
+
+def test_inspect_cli_prints_breakdown(capsys):
+    code = main(["inspect", "validation", "--scale", "0.05"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Per-layer attribution" in out
+    assert "energy J" in out
+
+
+def test_inspect_cli_unknown_experiment_errors(capsys):
+    code = main(["inspect", "nope"])
+    assert code == 2
+    assert "unknown experiment" in capsys.readouterr().err
