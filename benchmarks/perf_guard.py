@@ -1,28 +1,36 @@
-"""Perf guard: the Request-object path must stay within budget of baseline.
+"""Perf guard: the request path must stay within budget of the baseline.
 
-The LayerStack refactor replaced the hand-wired hierarchy dispatch with
-``Request``/``Response`` objects flowing through composable layers.  That
-is more allocation per operation, so this guard pins the overhead:
+The baseline anchor (``pre_refactor`` in ``perf_baseline.json``) was
+recorded on the hand-wired hierarchy dispatch, before the LayerStack
+refactor introduced ``Request``/``Response`` objects.  The hot-path
+engine (pooled requests, compiled traces, batched dispatch) then clawed
+that overhead back, and the budgets now hold the line *there*:
 
-* ``exp_table3`` at scale 0.1 (the acceptance workload — trace generation
-  + statistics) must stay within 15% of the pre-refactor baseline;
-* a simulation-path measure that drives the full request path (the mac
-  workload against one device of each class: disk, flash disk, flash
-  card) gets its own, wider budget — see ``BUDGETS``.
+* ``table3_s`` — the acceptance workload (trace generation + statistics)
+  must stay at least 25% *faster* than the pre-refactor anchor
+  (memoised ``distinct_bytes`` and the inlined stats loop bought ~5x);
+* ``request_path_s`` — the full simulation path (the mac workload
+  against one device of each class: disk, flash disk, flash card) must
+  stay within 10% of the anchor, i.e. the request objects are no longer
+  allowed to cost more than noise.
 
 Wall times are normalized by a pure-Python calibration loop so the guard
 is comparable across machines: the asserted quantity is
-``(measure / calibration)`` relative to the recorded baseline, which was
-captured with ``--record`` on the pre-refactor tree.
+``(measure / calibration)`` relative to the ``pre_refactor`` anchor.
+Every section — calibration included — is timed best-of-``REPEATS``, and
+the calibration loop runs both before and after the measures (keeping
+the minimum) so frequency or scheduler drift during the much longer
+measures cannot skew every score the same way.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_guard.py           # check
     PYTHONPATH=src python benchmarks/perf_guard.py --record  # re-baseline
 
-Exit status 1 on a budget breach.  Re-recording the baseline is only
-legitimate on the commit *before* a request-path change you intend to
-guard.
+``--record`` refreshes the ``current`` section and preserves the
+``pre_refactor`` anchor; the anchor itself must never be re-recorded, or
+the improvement budgets would silently compare against the wrong tree.
+Exit status 1 on a budget breach.
 """
 
 from __future__ import annotations
@@ -34,15 +42,10 @@ import time
 from pathlib import Path
 
 BASELINE_PATH = Path(__file__).with_name("perf_baseline.json")
-#: Allowed slowdown of each normalized measure relative to the baseline.
-#: ``table3_s`` is the issue's acceptance workload (< 15% wall time).
-#: ``request_path_s`` is a stricter, pure-simulation measure added on top;
-#: the Request/Response objects and per-layer attribution intrinsically
-#: cost ~1.36x on that loop (measured with an interleaved A/B against the
-#: pre-refactor tree), so its budget pins the overhead where it landed
-#: rather than pretending the objects are free.  A regression past 1.5
-#: means the request path itself got slower, not just noisier.
-BUDGETS = {"table3_s": 1.15, "request_path_s": 1.5}
+#: Allowed normalized ratio of each measure vs the ``pre_refactor``
+#: anchor.  Budgets below 1.0 *require an improvement*: the hot-path
+#: engine must keep table3 at least 25% faster than the anchor.
+BUDGETS = {"table3_s": 0.75, "request_path_s": 1.1}
 REPEATS = 5
 
 
@@ -95,39 +98,77 @@ def measure_request_path() -> float:
 
 
 def collect() -> dict[str, float]:
-    return {
-        "calibration_s": calibrate(),
+    # Calibrate both before and after the measures and keep the minimum:
+    # the measures take far longer than one calibration loop, so one-sided
+    # thermal or scheduler drift would otherwise bias every score alike.
+    calibration = calibrate()
+    measures = {
         "table3_s": measure_table3(),
         "request_path_s": measure_request_path(),
     }
+    calibration = min(calibration, calibrate())
+    return {"calibration_s": calibration, **measures}
+
+
+def _anchor(baseline: dict) -> dict[str, float]:
+    """The pre-refactor section; flat legacy files *are* the anchor."""
+    return baseline.get("pre_refactor", baseline)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--record", action="store_true",
-                        help="write the current timings as the new baseline")
+                        help="refresh the 'current' baseline section "
+                        "(the pre_refactor anchor is preserved)")
     parser.add_argument("--budget", type=float, default=None,
                         help="override every per-measure budget with one value")
     args = parser.parse_args(argv)
 
     current = collect()
     if args.record:
-        BASELINE_PATH.write_text(json.dumps(current, indent=1, sort_keys=True))
+        anchor = current
+        if BASELINE_PATH.exists():
+            anchor = _anchor(json.loads(BASELINE_PATH.read_text()))
+        recorded = {"pre_refactor": anchor, "current": current}
+        BASELINE_PATH.write_text(
+            json.dumps(recorded, indent=1, sort_keys=True) + "\n"
+        )
         print(f"recorded baseline: {BASELINE_PATH}")
         for key, value in current.items():
             print(f"  {key:16s} {value:.4f}s")
         return 0
 
-    baseline = json.loads(BASELINE_PATH.read_text())
+    baseline = _anchor(json.loads(BASELINE_PATH.read_text()))
+    budgets = {
+        measure: args.budget if args.budget is not None else default_budget
+        for measure, default_budget in BUDGETS.items()
+    }
+
+    def scores(sample: dict[str, float]) -> dict[str, float]:
+        return {
+            measure: sample[measure] / sample["calibration_s"]
+            for measure in budgets
+        }
+
+    base = scores(baseline)
+    now = scores(current)
+    # A breach must survive re-measurement: a real regression reproduces,
+    # a frequency-scaling or scheduler blip does not.  Keep each measure's
+    # best score across attempts (the minimum is the least-noisy estimator,
+    # exactly as within one section).
+    for _ in range(2):
+        if all(now[m] / base[m] <= budgets[m] for m in budgets):
+            break
+        retry = scores(collect())
+        now = {m: min(now[m], retry[m]) for m in budgets}
+
     failed = False
-    for measure, default_budget in BUDGETS.items():
-        budget = args.budget if args.budget is not None else default_budget
-        base_score = baseline[measure] / baseline["calibration_s"]
-        now_score = current[measure] / current["calibration_s"]
-        ratio = now_score / base_score
+    for measure, budget in budgets.items():
+        ratio = now[measure] / base[measure]
         verdict = "ok" if ratio <= budget else "FAIL"
         failed = failed or ratio > budget
-        print(f"{measure:16s} baseline {base_score:7.3f}  now {now_score:7.3f}  "
+        print(f"{measure:16s} baseline {base[measure]:7.3f}  "
+              f"now {now[measure]:7.3f}  "
               f"ratio {ratio:5.2f}  budget {budget:4.2f}  {verdict}")
     if failed:
         print("perf guard FAILED: the request path exceeds its budget")

@@ -1,0 +1,24 @@
+"""Thin benchmarks/ entry point for the profiling harness.
+
+Equivalent to ``repro profile``, runnable without installing the package::
+
+    python benchmarks/profiler.py table3 --scale 0.1 -o profile.json
+
+All logic lives in :mod:`repro.profiling`; this wrapper only makes the
+``src`` layout importable when the package is not installed.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.profiling import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -7,6 +7,7 @@ Commands:
 * ``analyze``   — characterise a trace file (Table 3 stats + locality toolkit)
 * ``experiment``— run a registered experiment driver (same as the runner)
 * ``inspect``   — per-layer latency/energy attribution for an experiment
+* ``profile``   — time an experiment under cProfile and report where it goes
 * ``run``       — parallel, cache-aware experiment runs via the engine
 * ``cache``     — manage the on-disk result cache (stats, clear)
 * ``faults``    — simulate under an injected-fault plan and report reliability
@@ -82,6 +83,28 @@ def _add_inspect(subparsers) -> None:
                         help="trace-length scale in (0, 1] (default 0.1)")
     parser.add_argument("--seed", type=int, default=None,
                         help="trace-generation seed (default: module default)")
+
+
+def _add_profile(subparsers) -> None:
+    from repro.experiments.runner import parse_scale
+
+    parser = subparsers.add_parser(
+        "profile",
+        help="profile an experiment and report per-layer time shares",
+        description="Run a registered experiment cold, warm, and under "
+        "cProfile; report phase timings, time shares per repro subpackage "
+        "and module, and the hottest functions.  With --output the report "
+        "is also written as a JSON artifact comparable across commits.",
+    )
+    parser.add_argument("experiment_id")
+    parser.add_argument("--scale", type=parse_scale, default=0.1,
+                        help="trace-length scale in (0, 1] (default 0.1)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="trace-generation seed (default: module default)")
+    parser.add_argument("--top", type=int, default=15,
+                        help="rows in the per-function table (default 15)")
+    parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="also write the report as a JSON artifact")
 
 
 def _add_run(subparsers) -> None:
@@ -169,6 +192,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_analyze(subparsers)
     _add_experiment(subparsers)
     _add_inspect(subparsers)
+    _add_profile(subparsers)
     _add_run(subparsers)
     _add_cache(subparsers)
     _add_faults(subparsers)
@@ -290,6 +314,24 @@ def cmd_inspect(args) -> int:
         return 2
     print(report.render())
     return 0 if ok else 1
+
+
+def cmd_profile(args) -> int:
+    from repro.errors import ConfigurationError
+    from repro.profiling import profile_experiment, render_report, write_report
+
+    try:
+        report = profile_experiment(
+            args.experiment_id, scale=args.scale, seed=args.seed, top=args.top
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(report, top=args.top))
+    if args.output:
+        written = write_report(report, args.output)
+        print(f"\nwrote {written}")
+    return 0
 
 
 def cmd_run(args) -> int:
@@ -484,6 +526,7 @@ _COMMANDS = {
     "analyze": cmd_analyze,
     "experiment": cmd_experiment,
     "inspect": cmd_inspect,
+    "profile": cmd_profile,
     "run": cmd_run,
     "cache": cmd_cache,
     "faults": cmd_faults,

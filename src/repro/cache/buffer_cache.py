@@ -60,6 +60,9 @@ class BufferCache:
         self.hits = 0
         self.misses = 0
         self._dirty: set[int] = set()
+        # Refresh draw is fixed by the part and the size; advance() runs
+        # once per request, so the product is precomputed here.
+        self._standby_w = spec.standby_power_w_per_byte * capacity_bytes
 
     @property
     def enabled(self) -> bool:
@@ -72,8 +75,7 @@ class BufferCache:
         """Charge standby (refresh) power up to ``until``."""
         if until <= self.clock:
             return
-        standby_w = self.spec.standby_power_w_per_byte * self.capacity_bytes
-        self.energy.charge("standby", standby_w, until - self.clock)
+        self.energy.charge("standby", self._standby_w, until - self.clock)
         self.clock = until
 
     def access_time(self, nbytes: int) -> float:

@@ -47,6 +47,9 @@ class SramWriteBuffer:
         self.background_flushes = 0
         #: crash-recovery replays of the buffer (the battery kept it alive)
         self.replays = 0
+        # Retention draw is fixed by the part and the size; advance() runs
+        # once per request, so the product is precomputed here.
+        self._standby_w = spec.standby_power_w_per_byte * capacity_bytes
 
     @property
     def enabled(self) -> bool:
@@ -69,8 +72,7 @@ class SramWriteBuffer:
         """Charge data-retention (standby) power up to ``until``."""
         if until <= self.clock:
             return
-        standby_w = self.spec.standby_power_w_per_byte * self.capacity_bytes
-        self.energy.charge("standby", standby_w, until - self.clock)
+        self.energy.charge("standby", self._standby_w, until - self.clock)
         self.clock = until
 
     def access_time(self, nbytes: int) -> float:

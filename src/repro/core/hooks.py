@@ -9,7 +9,12 @@ being special-cased inside the simulator loop:
 * ``on_crash(at, recovered_at)`` fires after a power loss was recovered.
 
 Emission is allocation-free and O(subscribers); a bus with no subscribers
-costs one truth test per event.
+costs one truth test per event.  The batched request path goes one step
+further: it asks the bus to *compile* each event once per batch —
+``None`` when nobody listens (the emit disappears from the loop), the
+bound subscriber itself when exactly one listens (the common case: the
+metrics collector), and a closure over a frozen subscriber tuple
+otherwise.
 """
 
 from __future__ import annotations
@@ -67,3 +72,31 @@ class HookBus:
     def emit_crash(self, at: float, recovered_at: float) -> None:
         for hook in self.crash_hooks:
             hook(at, recovered_at)
+
+    # -- compiled emission (batched fast path) ---------------------------------------
+
+    @staticmethod
+    def _compile(hooks: list) -> Callable | None:
+        if not hooks:
+            return None
+        if len(hooks) == 1:
+            return hooks[0]
+        frozen = tuple(hooks)
+
+        def emit(*args: object) -> None:
+            for hook in frozen:
+                hook(*args)
+
+        return emit
+
+    def compiled_submit(self) -> SubmitHook | None:
+        """A direct-call emitter for ``on_submit``, or None when unused.
+
+        Snapshot semantics: subscribers added after compilation are not
+        seen by the holder of the compiled emitter.
+        """
+        return self._compile(self.submit_hooks)
+
+    def compiled_complete(self) -> CompleteHook | None:
+        """A direct-call emitter for ``on_complete``, or None when unused."""
+        return self._compile(self.complete_hooks)

@@ -25,7 +25,17 @@ from abc import ABC, abstractmethod
 from typing import TYPE_CHECKING, Any
 
 from repro.core.hooks import HookBus
-from repro.core.request import FLUSH_FILE_ID, Request, RequestKind, Response
+from repro.core.request import (
+    CLEANING_LAYER_ID,
+    DEVICE_LAYER_ID,
+    DRAM_LAYER_ID,
+    FLUSH_FILE_ID,
+    REQUEST_POOL,
+    SRAM_LAYER_ID,
+    Request,
+    RequestKind,
+    Response,
+)
 from repro.devices.base import StorageDevice
 from repro.errors import SimulationError, UnrecoverableDeviceError
 from repro.faults.recovery import ReliabilityMeter, recovery_scan_s
@@ -35,6 +45,7 @@ if TYPE_CHECKING:
     from repro.cache.sram_buffer import SramWriteBuffer
     from repro.faults.injector import FaultInjector
     from repro.faults.retry import RetryPolicy
+    from repro.traces.compiled import CompiledOps
     from repro.traces.record import BlockOp
 
 #: attribution key for flash-reclamation work (cleaning stalls, erases)
@@ -46,6 +57,12 @@ _READ = RequestKind.READ
 _WRITE = RequestKind.WRITE
 _DELETE = RequestKind.DELETE
 _FLUSH = RequestKind.FLUSH
+
+# Sub-requests (cache misses, buffer drains, evictions) live only for the
+# duration of the downstream submit; recycling their shells through the
+# pool removes one allocation per hop from the hot path.
+_acquire = REQUEST_POOL.acquire
+_release = REQUEST_POOL.release
 
 
 class StorageLayer(ABC):
@@ -123,28 +140,34 @@ class DramLayer(StorageLayer):
         # straight through to the cache (instance attribute wins over the
         # class method).
         self.advance = cache.advance
+        # Hot-path bindings: the cache's methods and its spec's active
+        # power are stable for the layer's lifetime.
+        self._lookup = cache.lookup
+        self._install = cache.install
+        self._access_time = cache.access_time
+        self._active_w = cache.spec.active_power_w
 
     def submit(self, request: Request, response: Response | None = None) -> Response:
         if response is None:
             response = Response(request, request.time)
         kind = request.kind
-        cache = self.cache
 
         if kind is _READ:
             now = request.time
             bb = self.block_bytes
-            hits, misses = cache.lookup(request.blocks)
-            wait = cache.access_time(len(hits) * bb)
+            hits, misses = self._lookup(request.blocks)
+            wait = self._access_time(len(hits) * bb)
             if wait:
                 now += wait
-                response.attribute("dram", wait, cache.spec.active_power_w * wait)
+                response.attribute_id(DRAM_LAYER_ID, wait, self._active_w * wait)
             if misses:
-                sub = Request(
+                sub = _acquire(
                     _READ, now, misses, len(misses) * bb, request.file_id
                 )
                 self.downstream.submit(sub, response)
+                _release(sub)
                 now = response.completed_at
-                evicted = cache.install(misses)
+                evicted = self._install(misses)
                 if evicted:
                     # Write-back mode: evicted dirty blocks must reach the
                     # device before their frames are reused.
@@ -154,26 +177,27 @@ class DramLayer(StorageLayer):
 
         if kind is _WRITE:
             now = request.time
-            evicted = cache.install(request.blocks, dirty=self.write_back)
-            wait = cache.access_time(request.size)
+            evicted = self._install(request.blocks, dirty=self.write_back)
+            wait = self._access_time(request.size)
             if wait:
                 now += wait
-                response.attribute("dram", wait, cache.spec.active_power_w * wait)
+                response.attribute_id(DRAM_LAYER_ID, wait, self._active_w * wait)
             if evicted:
                 now = self._flush_down(evicted, now, response)
             if self.write_back:
                 # Absorbed; the device sees the data on eviction.
                 response.completed_at = now
                 return response
-            sub = Request(
+            sub = _acquire(
                 _WRITE, now, request.blocks, request.size,
                 request.file_id,
             )
             self.downstream.submit(sub, response)
+            _release(sub)
             return response
 
         if kind is _DELETE:
-            cache.invalidate(request.blocks)
+            self.cache.invalidate(request.blocks)
             return self.downstream.submit(request, response)
 
         # FLUSH requests originate below the cache; pass through verbatim.
@@ -182,11 +206,12 @@ class DramLayer(StorageLayer):
     def _flush_down(
         self, blocks: list[int], now: float, response: Response
     ) -> float:
-        sub = Request(
+        sub = _acquire(
             _FLUSH, now, blocks,
             len(blocks) * self.block_bytes, FLUSH_FILE_ID,
         )
         self._down().submit(sub, response)
+        _release(sub)
         return response.completed_at
 
     def advance(self, until: float) -> None:
@@ -231,6 +256,8 @@ class SramLayer(StorageLayer):
         self.buffer = buffer
         self.block_bytes = block_bytes
         self.advance = buffer.advance  # pure delegation, as in DramLayer
+        self._access_time = buffer.access_time
+        self._active_w = buffer.spec.active_power_w
 
     def submit(self, request: Request, response: Response | None = None) -> Response:
         if response is None:
@@ -246,16 +273,17 @@ class SramLayer(StorageLayer):
             device_blocks: list[int] = []
             for block in request.blocks:
                 (buffered if contains(block) else device_blocks).append(block)
-            wait = buffer.access_time(len(buffered) * bb)
+            wait = self._access_time(len(buffered) * bb)
             if wait:
                 now += wait
-                response.attribute("sram", wait, buffer.spec.active_power_w * wait)
+                response.attribute_id(SRAM_LAYER_ID, wait, self._active_w * wait)
             if device_blocks:
-                sub = Request(
+                sub = _acquire(
                     _READ, now, device_blocks,
                     len(device_blocks) * bb, request.file_id,
                 )
                 self.downstream.submit(sub, response)
+                _release(sub)
                 now = response.completed_at
                 self._background_flush(response)
             response.completed_at = now
@@ -267,17 +295,18 @@ class SramLayer(StorageLayer):
                 if not buffer.fits(request.blocks):
                     flush_blocks = buffer.drain()
                     buffer.sync_flushes += 1
-                    sub = Request(
+                    sub = _acquire(
                         _FLUSH, now, flush_blocks,
                         len(flush_blocks) * self.block_bytes, FLUSH_FILE_ID,
                     )
                     self.downstream.submit(sub, response)
+                    _release(sub)
                     now = response.completed_at
                 buffer.add(request.blocks)
-                wait = buffer.access_time(request.size)
+                wait = self._access_time(request.size)
                 if wait:
                     now += wait
-                    response.attribute("sram", wait, buffer.spec.active_power_w * wait)
+                    response.attribute_id(SRAM_LAYER_ID, wait, self._active_w * wait)
                 response.completed_at = now
                 # Write-behind: while the device is awake anyway, drain
                 # right away (keeps a spinning disk's idle timer fresh); to
@@ -290,11 +319,12 @@ class SramLayer(StorageLayer):
             # Bypassing the buffer: drop stale buffered versions so a later
             # flush cannot overwrite this newer data.
             buffer.invalidate(request.blocks)
-            sub = Request(
+            sub = _acquire(
                 _WRITE, now, request.blocks, request.size,
                 request.file_id,
             )
             self._down().submit(sub, response)
+            _release(sub)
             self._background_flush(response)
             return response
 
@@ -316,11 +346,12 @@ class SramLayer(StorageLayer):
             return
         blocks = buffer.drain()
         buffer.background_flushes += 1
-        sub = Request(
+        sub = _acquire(
             _FLUSH, 0.0, blocks, len(blocks) * self.block_bytes,
             file_id, background=True,
         )
         self.downstream.submit(sub, response)
+        _release(sub)
 
     def advance(self, until: float) -> None:
         self.buffer.advance(until)
@@ -403,8 +434,8 @@ class DeviceLayer(StorageLayer):
             else:
                 self._write(start, request.size, request.blocks, request.file_id)
             if cleaning_before is None:
-                response.attribute(
-                    "device", 0.0, self._meter.running_j - energy_before
+                response.attribute_id(
+                    DEVICE_LAYER_ID, 0.0, self._meter.running_j - energy_before
                 )
             else:
                 self._attribute(
@@ -450,8 +481,9 @@ class DeviceLayer(StorageLayer):
             # composite device may have been busy on only one leg).
             completion -= min(queue_wait, max(0.0, completion - now))
         if cleaning_before is None:
-            response.attribute(
-                "device", completion - now, self._meter.running_j - energy_before
+            response.attribute_id(
+                DEVICE_LAYER_ID, completion - now,
+                self._meter.running_j - energy_before,
             )
         else:
             self._attribute(
@@ -477,10 +509,10 @@ class DeviceLayer(StorageLayer):
             if stall or clean_energy:
                 if background:
                     stall = 0.0
-                response.attribute(CLEANING_LAYER, stall, clean_energy)
+                response.attribute_id(CLEANING_LAYER_ID, stall, clean_energy)
                 latency_s -= stall
                 energy -= clean_energy
-        response.attribute("device", latency_s, energy)
+        response.attribute_id(DEVICE_LAYER_ID, latency_s, energy)
 
     # -- fault-aware device access -------------------------------------------------
 
@@ -626,6 +658,55 @@ class LayerStack:
         for hook in hooks.complete_hooks:
             hook(response)
         return response
+
+    def run_batch(
+        self, compiled: "CompiledOps", start: int = 0, stop: int | None = None
+    ) -> None:
+        """Run compiled operations ``[start, stop)`` through the stack.
+
+        Semantically identical to calling :meth:`submit` once per
+        operation — same hook ordering, same arithmetic, bit-identical
+        results — but the loop reads flat parallel arrays, recycles one
+        pooled Request/Response pair across all operations, and compiles
+        hook emission to direct calls (or nothing) up front.
+
+        Two sharp edges, both irrelevant to the simulator's use:
+        subscribers added to the bus *during* the batch are not observed
+        by it, and the Response delivered to ``on_complete`` is recycled —
+        a subscriber must not retain it across operations.
+        """
+        n_ops = compiled.n_ops
+        if stop is None:
+            stop = n_ops
+        kinds = compiled.kinds
+        times = compiled.times
+        blocks = compiled.blocks
+        sizes = compiled.sizes
+        file_ids = compiled.file_ids
+        hooks = self.hooks
+        emit_submit = hooks.compiled_submit()
+        emit_complete = hooks.compiled_complete()
+        advances = self._advances
+        head_submit = self._head_submit
+        request = REQUEST_POOL.acquire(_READ, 0.0, (), 0, 0)
+        response = Response(request, 0.0)
+        reset = response.reset
+        for index in range(start, stop):
+            time = times[index]
+            request.kind = kinds[index]
+            request.time = time
+            request.blocks = blocks[index]
+            request.size = sizes[index]
+            request.file_id = file_ids[index]
+            if emit_submit is not None:
+                emit_submit(request)
+            for advance in advances:
+                advance(time)
+            reset(request, time)
+            head_submit(request, response)
+            if emit_complete is not None:
+                emit_complete(response)
+        REQUEST_POOL.release(request)
 
     # -- time/energy bookkeeping ---------------------------------------------------
 

@@ -20,10 +20,13 @@ import random
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.core.request import RequestKind
+from repro.core.request import LAYER_NAMES, RequestKind
 
 if TYPE_CHECKING:
     from repro.core.request import Response
+
+_READ = RequestKind.READ
+_DELETE = RequestKind.DELETE
 
 #: Reservoir size for percentile estimation: exact percentiles up to this
 #: many observations, a uniform sample beyond it.
@@ -32,6 +35,8 @@ _RESERVOIR_SIZE = 4096
 
 class ResponseAccumulator:
     """Online mean / max / standard deviation / percentiles of responses."""
+
+    __slots__ = ("count", "_mean", "_m2", "max", "total", "_reservoir", "_rng")
 
     def __init__(self) -> None:
         self.count = 0
@@ -116,48 +121,73 @@ class MetricsCollector:
     never pollute the response statistics, exactly as before.
     """
 
+    __slots__ = (
+        "read", "write", "overall", "n_deletes",
+        "_cells", "_cell_order", "measuring",
+    )
+
     def __init__(self, measuring: bool = True) -> None:
         self.read = ResponseAccumulator()
         self.write = ResponseAccumulator()
         self.overall = ResponseAccumulator()
         self.n_deletes = 0
-        # {layer: [latency_s, energy_j]} — a mutable pair per layer keeps
-        # the per-response accumulation to one dict lookup.
-        self._layer_cells: dict[str, list[float]] = {}
+        # Per-layer [latency_s, energy_j] pairs indexed by interned layer
+        # id (None until first touched), with `_cell_order` preserving the
+        # run-wide first-touch order the old name-keyed dict had.
+        self._cells: list[list[float] | None] = []
+        self._cell_order: list[int] = []
         self.measuring = measuring
 
     @property
     def layer_latency_s(self) -> dict[str, float]:
         """Summed foreground latency attributed to each layer, seconds."""
-        return {name: cell[0] for name, cell in self._layer_cells.items()}
+        cells = self._cells
+        return {
+            LAYER_NAMES[layer_id]: cells[layer_id][0]
+            for layer_id in self._cell_order
+        }
 
     @property
     def layer_energy_j(self) -> dict[str, float]:
         """Summed per-request active energy attributed to each layer, Joules."""
-        return {name: cell[1] for name, cell in self._layer_cells.items()}
+        cells = self._cells
+        return {
+            LAYER_NAMES[layer_id]: cells[layer_id][1]
+            for layer_id in self._cell_order
+        }
 
     def observe(self, response: "Response") -> None:
-        """The ``on_complete`` subscriber: record one finished response."""
+        """The ``on_complete`` subscriber: record one finished response.
+
+        Reads the response's interned-id attribution arrays directly (the
+        collector and the Response are two halves of the same hot path),
+        so no name-keyed dict is materialised per operation.
+        """
         if not self.measuring:
             return
         kind = response.request.kind
-        if kind is RequestKind.DELETE:
+        if kind is _DELETE:
             self.n_deletes += 1
             return
-        value = response.response_s
-        if kind is RequestKind.READ:
+        value = response.completed_at - response.issued_at
+        if kind is _READ:
             self.read.add(value)
         else:
             self.write.add(value)
         self.overall.add(value)
-        cells = self._layer_cells
-        for name, cost in response.attribution.items():
-            cell = cells.get(name)
+        cells = self._cells
+        lat = response._lat
+        en = response._en
+        for layer_id in response._touched:
+            if layer_id >= len(cells):
+                cells.extend([None] * (layer_id + 1 - len(cells)))
+            cell = cells[layer_id]
             if cell is None:
-                cells[name] = [cost[0], cost[1]]
+                cells[layer_id] = [lat[layer_id], en[layer_id]]
+                self._cell_order.append(layer_id)
             else:
-                cell[0] += cost[0]
-                cell[1] += cost[1]
+                cell[0] += lat[layer_id]
+                cell[1] += en[layer_id]
 
     def reset(self) -> None:
         """Warm-start boundary: discard the prefix and start measuring."""
@@ -165,7 +195,8 @@ class MetricsCollector:
         self.write.reset()
         self.overall.reset()
         self.n_deletes = 0
-        self._layer_cells.clear()
+        self._cells = []
+        self._cell_order = []
         self.measuring = True
 
 

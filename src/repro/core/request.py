@@ -8,9 +8,20 @@ carries the issue/complete timestamps plus a per-layer ``(latency_s,
 energy_j)`` attribution, so every simulated operation can say exactly
 where its time and energy went.
 
-These objects are allocated once per trace operation on the simulator's
-hottest path; everything here is ``__slots__``-based and validation-free
-by design (the trace preprocessing already validated the operations).
+These objects live on the simulator's hottest path, so the module is
+built for zero steady-state allocation:
+
+* layer names are **interned** to small integers once (at layer
+  construction), and a Response stores its attribution in flat parallel
+  arrays indexed by layer id instead of a per-request dict — the
+  name-keyed ``attribution`` mapping is rebuilt on demand;
+* Requests come from a :class:`RequestPool` free-list and Responses are
+  recycled via :meth:`Response.reset`, so the batched driver
+  (:meth:`~repro.core.layers.LayerStack.run_batch`) allocates nothing
+  per operation.
+
+Everything is ``__slots__``-based and validation-free by design (the
+trace preprocessing already validated the operations).
 """
 
 from __future__ import annotations
@@ -26,6 +37,40 @@ if TYPE_CHECKING:
 
 #: pseudo file id used for batched buffer flushes (forces one average seek)
 FLUSH_FILE_ID = -1
+
+# -- layer-name interning -------------------------------------------------------------
+#
+# Attribution is hot: two to four charges per simulated operation.  Interning
+# maps each layer name to a stable small integer so Responses can accumulate
+# into list slots instead of hashing strings into a dict.  Ids are process
+# global and never recycled; the reverse table `LAYER_NAMES` turns them back
+# into names for reporting.
+
+LAYER_IDS: dict[str, int] = {}
+LAYER_NAMES: list[str] = []
+
+
+def intern_layer(name: str) -> int:
+    """Return the stable integer id for attribution key ``name``.
+
+    The first call for a name assigns the next free id; later calls are a
+    single dict lookup.  Layers intern their name once at construction and
+    attribute through :meth:`Response.attribute_id` afterwards.
+    """
+    layer_id = LAYER_IDS.get(name)
+    if layer_id is None:
+        layer_id = len(LAYER_NAMES)
+        LAYER_IDS[name] = layer_id
+        LAYER_NAMES.append(name)
+    return layer_id
+
+
+# The built-in hierarchy layers, interned eagerly so every Response starts
+# with slots for them and the common case never grows its arrays.
+DRAM_LAYER_ID = intern_layer("dram")
+SRAM_LAYER_ID = intern_layer("sram")
+DEVICE_LAYER_ID = intern_layer("device")
+CLEANING_LAYER_ID = intern_layer("cleaning")
 
 
 class RequestKind(enum.Enum):
@@ -100,6 +145,56 @@ class Request:
         )
 
 
+class RequestPool:
+    """A free-list of :class:`Request` shells recycled across operations.
+
+    Layers create short-lived sub-requests (cache misses travelling down,
+    buffer drains, write-back evictions) whose lifetime ends when the
+    downstream ``submit`` returns.  Acquiring from the pool and releasing
+    on the way out turns those allocations into two list operations.
+
+    The pool holds bare shells only — ``release`` drops the block
+    reference so recycled requests never pin block tuples alive.
+    """
+
+    __slots__ = ("_free",)
+
+    def __init__(self) -> None:
+        self._free: list[Request] = []
+
+    def acquire(
+        self,
+        kind: RequestKind,
+        time: float,
+        blocks: Sequence[int],
+        size: int,
+        file_id: int,
+        background: bool = False,
+    ) -> Request:
+        free = self._free
+        if free:
+            request = free.pop()
+            request.kind = kind
+            request.time = time
+            request.blocks = blocks
+            request.size = size
+            request.file_id = file_id
+            request.background = background
+            return request
+        return Request(kind, time, blocks, size, file_id, background)
+
+    def release(self, request: Request) -> None:
+        request.blocks = ()
+        self._free.append(request)
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+
+#: The process-wide pool the layer stack draws sub-requests from.
+REQUEST_POOL = RequestPool()
+
+
 class Response:
     """The completed journey of one :class:`Request` through the stack.
 
@@ -109,43 +204,87 @@ class Response:
     components cover the *active* energy the request caused; standby and
     idle energy accrues to the layers between requests and appears only in
     the run-level breakdown.
+
+    Internally the attribution lives in flat arrays indexed by interned
+    layer id (``_lat`` / ``_en``), with ``_touched`` recording first-touch
+    order so the name-keyed view iterates exactly like the dict it
+    replaced.  The batched driver recycles one Response across a whole
+    trace via :meth:`reset`.
     """
 
-    __slots__ = ("request", "issued_at", "completed_at", "attribution")
+    __slots__ = ("request", "issued_at", "completed_at", "_lat", "_en", "_touched")
 
     def __init__(self, request: Request, issued_at: float) -> None:
         self.request = request
         self.issued_at = issued_at
         self.completed_at = issued_at
-        self.attribution: dict[str, tuple[float, float]] = {}
+        size = len(LAYER_NAMES)
+        self._lat = [0.0] * size
+        self._en = [0.0] * size
+        self._touched: list[int] = []
 
     @property
     def response_s(self) -> float:
         """Foreground response time in seconds."""
         return self.completed_at - self.issued_at
 
+    def reset(self, request: Request, issued_at: float) -> None:
+        """Recycle this Response for a new request (batched hot path)."""
+        self.request = request
+        self.issued_at = issued_at
+        self.completed_at = issued_at
+        touched = self._touched
+        if touched:
+            lat = self._lat
+            en = self._en
+            for layer_id in touched:
+                lat[layer_id] = 0.0
+                en[layer_id] = 0.0
+            del touched[:]
+
+    def attribute_id(self, layer_id: int, latency_s: float, energy_j: float) -> None:
+        """Charge ``latency_s``/``energy_j`` to the interned ``layer_id``."""
+        lat = self._lat
+        if layer_id >= len(lat):
+            grow = layer_id + 1 - len(lat)
+            lat.extend([0.0] * grow)
+            self._en.extend([0.0] * grow)
+        touched = self._touched
+        if layer_id not in touched:
+            touched.append(layer_id)
+        lat[layer_id] += latency_s
+        self._en[layer_id] += energy_j
+
     def attribute(self, layer: str, latency_s: float, energy_j: float) -> None:
         """Charge ``latency_s``/``energy_j`` of this request to ``layer``."""
-        attribution = self.attribution
-        cost = attribution.get(layer)
-        if cost is None:
-            attribution[layer] = (latency_s, energy_j)
-        else:
-            attribution[layer] = (cost[0] + latency_s, cost[1] + energy_j)
+        self.attribute_id(intern_layer(layer), latency_s, energy_j)
+
+    @property
+    def attribution(self) -> dict[str, tuple[float, float]]:
+        """Name-keyed ``{layer: (latency_s, energy_j)}``, first-touch order."""
+        lat = self._lat
+        en = self._en
+        names = LAYER_NAMES
+        return {
+            names[layer_id]: (lat[layer_id], en[layer_id])
+            for layer_id in self._touched
+        }
 
     @property
     def attributed_latency_s(self) -> float:
         """Sum of the per-layer latency components."""
-        return sum(cost[0] for cost in self.attribution.values())
+        lat = self._lat
+        return sum(lat[layer_id] for layer_id in self._touched)
 
     @property
     def attributed_energy_j(self) -> float:
         """Sum of the per-layer active-energy components."""
-        return sum(cost[1] for cost in self.attribution.values())
+        en = self._en
+        return sum(en[layer_id] for layer_id in self._touched)
 
     def breakdown(self) -> dict[str, tuple[float, float]]:
         """Frozen ``{layer: (latency_s, energy_j)}`` view."""
-        return dict(self.attribution)
+        return self.attribution
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -13,6 +13,19 @@ subscriber (each loss strictly precedes the request that would overtake
 it), and all statistics flow through a
 :class:`~repro.core.metrics.MetricsCollector` subscribed to
 ``on_complete``.
+
+Two execution paths produce bit-identical results (pinned by
+``tests/test_fastpath.py`` and the golden equivalence fixture):
+
+* the **batched fast path** (default) compiles the trace once into flat
+  arrays (:func:`~repro.traces.compiled.compile_trace`, cached on the
+  trace) and drives them through
+  :meth:`~repro.core.layers.LayerStack.run_batch`, which recycles one
+  pooled Request/Response pair across every operation;
+* the **per-op slow path** (``batched=False``) builds a
+  :class:`~repro.traces.record.BlockOp` and a fresh Request/Response per
+  operation via ``LayerStack.submit`` — the reference semantics, kept as
+  the equivalence oracle.
 """
 
 from __future__ import annotations
@@ -25,6 +38,7 @@ from repro.core.results import SimulationResult
 from repro.devices.flashcard import FlashCard
 from repro.errors import TraceError
 from repro.faults.injector import FaultInjector
+from repro.traces.compiled import compile_trace
 from repro.traces.filemap import FileMapper
 from repro.traces.trace import Trace
 
@@ -35,21 +49,79 @@ class Simulator:
     def __init__(self, config: SimulationConfig | None = None) -> None:
         self.config = config if config is not None else SimulationConfig()
 
-    def run(self, trace: Trace) -> SimulationResult:
-        """Simulate ``trace`` and return the measured statistics."""
+    def run(self, trace: Trace, *, batched: bool = True) -> SimulationResult:
+        """Simulate ``trace`` and return the measured statistics.
+
+        ``batched=False`` selects the per-operation reference path; the
+        results are bit-identical either way.
+        """
         config = self.config
-        mapper = FileMapper(trace.block_size)
-        ops = mapper.translate_all(trace)
-        dataset_blocks = mapper.high_water_blocks
         plan = config.fault_plan
         # A plan with every rate zero and no power-loss schedule is treated
         # exactly like no plan at all: no injector, no extra stats keys, and
         # bit-identical results (the documented strict no-op guarantee).
         injector = FaultInjector(plan) if plan is not None and plan.enabled else None
+        if batched:
+            compiled = compile_trace(trace)
+            if compiled.n_ops == 0:
+                raise TraceError(_EMPTY_TRACE_MESSAGE.format(name=trace.name))
+            hierarchy = build_hierarchy(
+                config, trace.block_size, max(1, compiled.dataset_blocks),
+                injector=injector,
+            )
+            return self._execute_batch(trace, compiled, hierarchy, injector)
+        mapper = FileMapper(trace.block_size)
+        ops = mapper.translate_all(trace)
         hierarchy = build_hierarchy(
-            config, trace.block_size, max(1, dataset_blocks), injector=injector
+            config, trace.block_size, max(1, mapper.high_water_blocks),
+            injector=injector,
         )
         return self._execute(trace, ops, hierarchy, injector)
+
+    def _execute_batch(
+        self,
+        trace: Trace,
+        compiled,
+        hierarchy: StorageHierarchy,
+        injector: FaultInjector | None = None,
+    ) -> SimulationResult:
+        config = self.config
+        n_ops = compiled.n_ops
+        warm_count = int(n_ops * config.warm_fraction)
+
+        collector = MetricsCollector(measuring=warm_count == 0)
+        hierarchy.hooks.on_complete(collector.observe)
+        stack = hierarchy.stack
+        if injector is not None:
+            # Fire every scheduled power loss that precedes a request.  The
+            # subscription lives here, not in the hierarchy, so that direct
+            # hierarchy use (tests, tools) never fires losses implicitly.
+            hierarchy.hooks.on_submit(
+                lambda request: stack.fire_pending_power_losses(request.time)
+            )
+
+        if warm_count > 0:
+            stack.run_batch(compiled, 0, min(warm_count, n_ops))
+            if warm_count < n_ops:
+                hierarchy.reset_accounting()
+                collector.reset()
+        if warm_count < n_ops:
+            stack.run_batch(compiled, warm_count, n_ops)
+
+        if injector is not None:
+            # Power losses scheduled after the last request still happen.
+            stack.fire_pending_power_losses(float("inf"))
+
+        end_time = max(trace.duration, hierarchy.latest_time())
+        hierarchy.finalize(end_time)
+        if warm_count < n_ops:
+            measured_start = compiled.times[warm_count]
+        else:
+            # The whole trace was warm-up: the measurement window is empty,
+            # so its duration must be zero (not end-to-end wall time).
+            measured_start = end_time
+        duration = max(0.0, end_time - measured_start)
+        return self._result(trace, hierarchy, collector, duration)
 
     def _execute(
         self,
@@ -60,18 +132,12 @@ class Simulator:
     ) -> SimulationResult:
         config = self.config
         if not ops:
-            raise TraceError(
-                f"trace {trace.name!r} produced no block operations; nothing to "
-                "simulate (check the trace generator and scale parameters)"
-            )
+            raise TraceError(_EMPTY_TRACE_MESSAGE.format(name=trace.name))
         warm_count = int(len(ops) * config.warm_fraction)
 
         collector = MetricsCollector(measuring=warm_count == 0)
         hierarchy.hooks.on_complete(collector.observe)
         if injector is not None:
-            # Fire every scheduled power loss that precedes a request.  The
-            # subscription lives here, not in the hierarchy, so that direct
-            # hierarchy use (tests, tools) never fires losses implicitly.
             stack = hierarchy.stack
             hierarchy.hooks.on_submit(
                 lambda request: stack.fire_pending_power_losses(request.time)
@@ -85,7 +151,6 @@ class Simulator:
             submit(op)
 
         if injector is not None:
-            # Power losses scheduled after the last request still happen.
             hierarchy.stack.fire_pending_power_losses(float("inf"))
 
         end_time = max(trace.duration, hierarchy.latest_time())
@@ -93,11 +158,17 @@ class Simulator:
         if warm_count < len(ops):
             measured_start = ops[warm_count].time
         else:
-            # The whole trace was warm-up: the measurement window is empty,
-            # so its duration must be zero (not end-to-end wall time).
             measured_start = end_time
         duration = max(0.0, end_time - measured_start)
+        return self._result(trace, hierarchy, collector, duration)
 
+    def _result(
+        self,
+        trace: Trace,
+        hierarchy: StorageHierarchy,
+        collector: MetricsCollector,
+        duration: float,
+    ) -> SimulationResult:
         device = hierarchy.device
         wear = device.wear(duration) if isinstance(device, FlashCard) else None
         dram_hit_rate = hierarchy.dram.hit_rate if hierarchy.dram is not None else None
@@ -105,7 +176,7 @@ class Simulator:
         return SimulationResult(
             trace_name=trace.name,
             device_name=device.name,
-            config=config,
+            config=self.config,
             duration_s=duration,
             energy_j=hierarchy.total_energy_j,
             energy_breakdown=hierarchy.energy_breakdown(),
@@ -121,6 +192,12 @@ class Simulator:
             reliability=hierarchy.reliability_snapshot(),
             layer_breakdown=_layer_breakdown(hierarchy, collector),
         )
+
+
+_EMPTY_TRACE_MESSAGE = (
+    "trace {name!r} produced no block operations; nothing to "
+    "simulate (check the trace generator and scale parameters)"
+)
 
 
 def _layer_breakdown(
@@ -145,6 +222,11 @@ def _layer_breakdown(
     }
 
 
-def simulate(trace: Trace, config: SimulationConfig | None = None) -> SimulationResult:
+def simulate(
+    trace: Trace,
+    config: SimulationConfig | None = None,
+    *,
+    batched: bool = True,
+) -> SimulationResult:
     """Convenience wrapper: simulate ``trace`` under ``config``."""
-    return Simulator(config).run(trace)
+    return Simulator(config).run(trace, batched=batched)

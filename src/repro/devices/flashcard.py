@@ -121,6 +121,20 @@ class FlashCard(StorageDevice):
         self.remapped_segments = 0
         self.retired_segments = 0
 
+        # Per-block timing constants, fixed by the spec and block size for
+        # the card's lifetime; precomputed because _write_block and
+        # _job_step consult them once per block on the hot path.
+        self._block_write_s = spec.write_latency_s + transfer_time(
+            block_bytes, spec.write_bandwidth_bps
+        )
+        # Cleaning copies stay inside the card/driver and move at hardware
+        # speed, without the host file-system overhead of ordinary I/O.
+        self._block_copy_s = (
+            spec.read_latency_s
+            + transfer_time(block_bytes, spec.copy_read_bandwidth_bps)
+            + transfer_time(block_bytes, spec.copy_write_bandwidth_bps)
+        )
+
     # -- derived quantities ---------------------------------------------------------
 
     @property
@@ -161,24 +175,6 @@ class FlashCard(StorageDevice):
         mapped = sum(segment.live_blocks for segment in self.segments)
         if mapped != len(self._map):
             raise FlashOutOfSpaceError("live-block count mismatch")
-
-    # -- timing helpers ---------------------------------------------------------------
-
-    @property
-    def _block_write_s(self) -> float:
-        return self.spec.write_latency_s + transfer_time(
-            self.block_bytes, self.spec.write_bandwidth_bps
-        )
-
-    @property
-    def _block_copy_s(self) -> float:
-        # Cleaning copies stay inside the card/driver and move at hardware
-        # speed, without the host file-system overhead of ordinary I/O.
-        read = self.spec.read_latency_s + transfer_time(
-            self.block_bytes, self.spec.copy_read_bandwidth_bps
-        )
-        write = transfer_time(self.block_bytes, self.spec.copy_write_bandwidth_bps)
-        return read + write
 
     # -- setup ---------------------------------------------------------------------
 

@@ -76,6 +76,11 @@ class FlashDisk(StorageDevice):
         self.background_erasures = 0
         #: seconds of erase work already paid toward the next dirty sector
         self._erase_progress_s = 0.0
+        # Fixed by the spec for the device's lifetime; precomputed because
+        # advance() consults it on every call.
+        self._sector_erase_s = transfer_time(
+            spec.sector_bytes, spec.erase_bandwidth_bps
+        )
 
     # -- setup -------------------------------------------------------------------
 
@@ -84,10 +89,6 @@ class FlashDisk(StorageDevice):
         self.sector_map.preload(n_blocks * self.sectors_per_block)
 
     # -- idle-time behaviour -------------------------------------------------------
-
-    @property
-    def _sector_erase_s(self) -> float:
-        return transfer_time(self.spec.sector_bytes, self.spec.erase_bandwidth_bps)
 
     def advance(self, until: float) -> None:
         if until <= self.clock:

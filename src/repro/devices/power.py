@@ -19,6 +19,8 @@ class EnergyMeter:
     trace, matching the paper's methodology (section 4.2).
     """
 
+    __slots__ = ("owner", "_buckets", "running_j")
+
     def __init__(self, owner: str) -> None:
         self.owner = owner
         self._buckets: dict[str, float] = {}

@@ -132,8 +132,14 @@ class ResultCache:
         experiments: dict[str, int] = {}
         if self.results_dir.is_dir():
             for path in self.results_dir.glob("*/*.json"):
+                try:
+                    size = path.stat().st_size
+                except OSError:
+                    # Entry vanished mid-scan (a concurrent ``cache clear``);
+                    # stats are advisory, so skip it rather than crash.
+                    continue
                 entries += 1
-                total_bytes += path.stat().st_size
+                total_bytes += size
                 try:
                     experiment_id = json.loads(path.read_text())["result"]["experiment_id"]
                 except (OSError, ValueError, KeyError, TypeError):

@@ -1,0 +1,209 @@
+"""Profiling harness for experiment drivers.
+
+``repro profile <experiment>`` answers the question the perf guard cannot:
+*where* the time goes.  It runs one registered experiment three ways —
+
+* a **cold** run (first execution: trace generation, compilation, and
+  simulation all pay full price),
+* a **warm** run (traces and compiled ops cached: the steady-state cost a
+  sweep actually pays per configuration),
+* a **profiled** warm run under :mod:`cProfile`,
+
+— with ``perf_counter_ns`` phase timers around each, then aggregates the
+profile three ways: top functions by own-time, per-module shares within
+the ``repro`` package, and per-subpackage ("layer") shares, which is
+where ``core`` vs. ``devices`` vs. ``traces`` attribution comes from.
+Per-device-model time shows up as the ``devices.*``/``flash.*`` module
+rows (one module per device model).
+
+The report is printed human-readably and can be written as a JSON
+artifact whose schema is stable across commits, so two artifacts diff
+meaningfully in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import json
+import platform
+import pstats
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+#: JSON schema version for the emitted artifact.
+SCHEMA = 1
+
+
+def _module_of(filename: str) -> str | None:
+    """Map a profiled filename to a dotted ``repro`` module, or None."""
+    path = Path(filename)
+    parts = path.with_suffix("").parts
+    try:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+    except ValueError:
+        return None
+    inside = parts[anchor + 1:]
+    if not inside:
+        return "repro"
+    return ".".join(inside)
+
+
+def profile_experiment(
+    experiment_id: str,
+    scale: float = 0.1,
+    seed: int | None = None,
+    top: int = 15,
+) -> dict[str, Any]:
+    """Profile one experiment driver; returns the JSON-ready report."""
+    from repro import __version__
+    from repro.experiments.runner import run_experiment
+
+    def run() -> None:
+        run_experiment(experiment_id, scale=scale, seed=seed)
+
+    phases: dict[str, float] = {}
+
+    start = time.perf_counter_ns()
+    run()
+    phases["cold_run_s"] = (time.perf_counter_ns() - start) / 1e9
+
+    start = time.perf_counter_ns()
+    run()
+    phases["warm_run_s"] = (time.perf_counter_ns() - start) / 1e9
+
+    profiler = cProfile.Profile()
+    start = time.perf_counter_ns()
+    profiler.enable()
+    run()
+    profiler.disable()
+    phases["profiled_run_s"] = (time.perf_counter_ns() - start) / 1e9
+
+    stats = pstats.Stats(profiler)
+    total_tt = stats.total_tt or 1e-12  # type: ignore[attr-defined]
+
+    functions = []
+    modules: dict[str, float] = {}
+    groups: dict[str, float] = {}
+    for (filename, line, name), (
+        _cc, ncalls, tottime, cumtime, _callers
+    ) in stats.stats.items():  # type: ignore[attr-defined]
+        module = _module_of(filename)
+        if module is not None:
+            modules[module] = modules.get(module, 0.0) + tottime
+            group = module.split(".", 1)[0]
+            groups[group] = groups.get(group, 0.0) + tottime
+        functions.append(
+            {
+                "function": name,
+                "file": filename,
+                "line": line,
+                "ncalls": ncalls,
+                "tottime_s": tottime,
+                "cumtime_s": cumtime,
+            }
+        )
+    functions.sort(key=lambda row: row["tottime_s"], reverse=True)
+
+    def share_table(cells: dict[str, float]) -> list[dict[str, Any]]:
+        return [
+            {"name": name, "tottime_s": tottime, "share": tottime / total_tt}
+            for name, tottime in sorted(
+                cells.items(), key=lambda item: item[1], reverse=True
+            )
+        ]
+
+    return {
+        "schema": SCHEMA,
+        "experiment": experiment_id,
+        "scale": scale,
+        "seed": seed,
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "phases": phases,
+        "total_profile_s": total_tt,
+        "layers": share_table(groups),
+        "modules": share_table(modules),
+        "top_functions": functions[:top],
+    }
+
+
+def render_report(report: dict[str, Any], top: int = 15) -> str:
+    """A human-readable rendering of :func:`profile_experiment`'s output."""
+    lines = [
+        f"profile of {report['experiment']!r} "
+        f"(scale {report['scale']:g}, seed {report['seed']}, "
+        f"repro {report['repro_version']}, python {report['python']})",
+        "",
+        "phases",
+    ]
+    for phase, seconds in report["phases"].items():
+        lines.append(f"  {phase:16s} {seconds:8.3f} s")
+    lines.append("")
+    lines.append("time share by layer (subpackage, profiled run)")
+    for row in report["layers"]:
+        lines.append(
+            f"  {row['name']:24s} {row['tottime_s']:8.3f} s  {row['share']:6.1%}"
+        )
+    lines.append("")
+    lines.append("time share by module")
+    for row in report["modules"][:top]:
+        lines.append(
+            f"  {row['name']:24s} {row['tottime_s']:8.3f} s  {row['share']:6.1%}"
+        )
+    lines.append("")
+    lines.append(f"top {len(report['top_functions'])} functions by own time")
+    for row in report["top_functions"]:
+        where = f"{Path(row['file']).name}:{row['line']}"
+        lines.append(
+            f"  {row['tottime_s']:8.3f} s  {row['ncalls']:>9} calls  "
+            f"{row['function']} ({where})"
+        )
+    return "\n".join(lines)
+
+
+def write_report(report: dict[str, Any], path: str | Path) -> Path:
+    """Write the JSON artifact; returns the path written."""
+    path = Path(path)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (also backs ``repro profile``)."""
+    from repro.errors import ConfigurationError
+    from repro.experiments.runner import parse_scale
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("experiment_id")
+    parser.add_argument("--scale", type=parse_scale, default=0.1,
+                        help="trace-length scale in (0, 1] (default 0.1)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="trace-generation seed (default: module default)")
+    parser.add_argument("--top", type=int, default=15,
+                        help="rows in the per-function table (default 15)")
+    parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="also write the report as a JSON artifact")
+    args = parser.parse_args(argv)
+
+    try:
+        report = profile_experiment(
+            args.experiment_id, scale=args.scale, seed=args.seed, top=args.top
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(report, top=args.top))
+    if args.output:
+        written = write_report(report, args.output)
+        print(f"\nwrote {written}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,112 @@
+"""Traces compiled to flat parallel arrays for the batched request path.
+
+``Simulator.run`` used to re-run the :class:`~repro.traces.filemap.FileMapper`
+and build one :class:`~repro.traces.record.BlockOp` plus one
+``Request`` per operation *per simulation* — pure overhead when the same
+trace is swept across devices and configurations.  :func:`compile_trace`
+performs the file-to-disk translation exactly once per :class:`Trace`
+instance and stores the result as parallel arrays (request kind, issue
+time, block tuple, in-stack size, file id) that
+:meth:`~repro.core.layers.LayerStack.run_batch` iterates directly.
+
+The compilation is cached on the trace object itself: traces are
+immutable by contract and the generator cache
+(:mod:`repro.experiments.traces_cache`) hands the same instance to every
+run of a sweep, so the translation cost amortises across the whole
+parameter space.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.traces.filemap import FileMapper
+from repro.traces.record import Operation
+
+if TYPE_CHECKING:
+    from repro.traces.trace import Trace
+
+_CACHE_ATTR = "_compiled_ops"
+
+
+class CompiledOps:
+    """One trace, flattened: parallel per-operation arrays.
+
+    ``kinds[i]`` is a :class:`~repro.core.request.RequestKind` member,
+    ``sizes[i]`` the in-stack transfer size (the block footprint for
+    reads, the file-level size otherwise — exactly what
+    ``Request.from_op`` computes), and ``blocks[i]`` the device block
+    tuple from the file mapper.  ``dataset_blocks`` is the mapper's
+    high-water mark, which sizes the simulated device.
+    """
+
+    __slots__ = (
+        "kinds", "times", "blocks", "sizes", "file_ids",
+        "n_ops", "dataset_blocks", "block_bytes",
+    )
+
+    def __init__(
+        self,
+        kinds: list,
+        times: list[float],
+        blocks: list[tuple[int, ...]],
+        sizes: list[int],
+        file_ids: list[int],
+        dataset_blocks: int,
+        block_bytes: int,
+    ) -> None:
+        self.kinds = kinds
+        self.times = times
+        self.blocks = blocks
+        self.sizes = sizes
+        self.file_ids = file_ids
+        self.n_ops = len(kinds)
+        self.dataset_blocks = dataset_blocks
+        self.block_bytes = block_bytes
+
+
+def compile_trace(trace: "Trace") -> CompiledOps:
+    """The compiled form of ``trace``, translated once and cached on it."""
+    cached = getattr(trace, _CACHE_ATTR, None)
+    if cached is not None:
+        return cached
+    compiled = _compile(trace)
+    setattr(trace, _CACHE_ATTR, compiled)
+    return compiled
+
+
+def _compile(trace: "Trace") -> CompiledOps:
+    # Imported here: repro.core.request imports repro.traces.record, so a
+    # module-level import would couple the packages both ways at load time.
+    from repro.core.request import RequestKind
+
+    read_kind = RequestKind.READ
+    kind_of = {
+        Operation.READ: RequestKind.READ,
+        Operation.WRITE: RequestKind.WRITE,
+        Operation.DELETE: RequestKind.DELETE,
+    }
+    block_bytes = trace.block_size
+    mapper = FileMapper(block_bytes)
+    translate = mapper.translate
+    kinds: list = []
+    times: list[float] = []
+    blocks: list[tuple[int, ...]] = []
+    sizes: list[int] = []
+    file_ids: list[int] = []
+    for record in trace.records:
+        op = translate(record)
+        kind = kind_of[op.op]
+        kinds.append(kind)
+        times.append(op.time)
+        blocks.append(op.blocks)
+        # Reads are served block-granular below the file system; all other
+        # kinds keep the mapper's size (mirrors Request.from_op exactly).
+        sizes.append(
+            len(op.blocks) * block_bytes if kind is read_kind else op.size
+        )
+        file_ids.append(op.file_id)
+    return CompiledOps(
+        kinds, times, blocks, sizes, file_ids,
+        mapper.high_water_blocks, block_bytes,
+    )

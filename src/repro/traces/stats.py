@@ -74,22 +74,39 @@ def compute_statistics(trace: Trace, warm_fraction: float = 0.0) -> TraceStatist
     gap_sum_sq = 0.0
     gap_max = 0.0
 
-    for record in trace:
-        if record.op is Operation.READ:
+    # This loop dominates the Table 3 driver's wall time, so the block-span
+    # arithmetic is inlined and the enum members are locals.
+    read_op = Operation.READ
+    write_op = Operation.WRITE
+    for record in trace.records:
+        op = record.op
+        if op is read_op:
             reads += 1
-            read_blocks_total += _blocks_spanned(record.offset, record.size, block_size)
-        elif record.op is Operation.WRITE:
+            size = record.size
+            if size > 0:
+                offset = record.offset
+                read_blocks_total += (
+                    (offset + size - 1) // block_size - offset // block_size + 1
+                )
+        elif op is write_op:
             writes += 1
-            write_blocks_total += _blocks_spanned(record.offset, record.size, block_size)
+            size = record.size
+            if size > 0:
+                offset = record.offset
+                write_blocks_total += (
+                    (offset + size - 1) // block_size - offset // block_size + 1
+                )
         else:
             deletes += 1
+        time = record.time
         if previous_time is not None:
-            gap = record.time - previous_time
+            gap = time - previous_time
             gap_count += 1
             gap_sum += gap
             gap_sum_sq += gap * gap
-            gap_max = max(gap_max, gap)
-        previous_time = record.time
+            if gap > gap_max:
+                gap_max = gap
+        previous_time = time
 
     n_ops = reads + writes + deletes
     gap_mean = gap_sum / gap_count if gap_count else 0.0

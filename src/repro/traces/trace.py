@@ -34,6 +34,7 @@ class Trace:
         self.block_size = block_size
         self.metadata: dict[str, Any] = dict(metadata or {})
         self._records: list[TraceRecord] = list(records)
+        self._distinct_bytes: int | None = None
         self._validate()
 
     def _validate(self) -> None:
@@ -80,16 +81,34 @@ class Trace:
 
         This is the paper's "Number of distinct Kbytes accessed" (Table 3):
         the union, over all read/write records, of the file blocks touched.
+
+        The result is memoised (traces are immutable by contract), and the
+        overwhelmingly common single-block record takes a ``set.add`` fast
+        path instead of materialising a one-element range.
         """
+        cached = self._distinct_bytes
+        if cached is not None:
+            return cached
         touched: dict[int, set[int]] = {}
+        block_size = self.block_size
+        delete_op = Operation.DELETE
+        get = touched.get
         for record in self._records:
-            if record.op is Operation.DELETE:
+            if record.op is delete_op:
                 continue
-            blocks = touched.setdefault(record.file_id, set())
-            first = record.offset // self.block_size
-            last = (record.end_offset - 1) // self.block_size
-            blocks.update(range(first, last + 1))
-        return sum(len(blocks) for blocks in touched.values()) * self.block_size
+            file_id = record.file_id
+            blocks = get(file_id)
+            if blocks is None:
+                blocks = touched[file_id] = set()
+            first = record.offset // block_size
+            last = (record.end_offset - 1) // block_size
+            if first == last:
+                blocks.add(first)
+            else:
+                blocks.update(range(first, last + 1))
+        total = sum(len(blocks) for blocks in touched.values()) * block_size
+        self._distinct_bytes = total
+        return total
 
     def operation_counts(self) -> dict[Operation, int]:
         """Count of records per operation kind."""

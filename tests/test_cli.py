@@ -242,3 +242,36 @@ def test_cache_stats_and_clear(tmp_path, capsys):
     assert "1" in stats_out
     assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
     assert "removed 1" in capsys.readouterr().out
+
+
+def test_cache_stats_on_never_created_dir(tmp_path, capsys):
+    missing = tmp_path / "never" / "created"
+    assert not missing.exists()
+    assert main(["cache", "stats", "--cache-dir", str(missing)]) == 0
+    out = capsys.readouterr().out
+    assert "entries      0" in out
+    assert not missing.exists()  # stats must not create the cache either
+
+
+def test_profile_command_writes_artifact(tmp_path, capsys):
+    import json
+
+    artifact = tmp_path / "reports" / "profile.json"
+    assert main(["profile", "table3", "--scale", "0.05", "--top", "3",
+                 "-o", str(artifact)]) == 0
+    out = capsys.readouterr().out
+    assert "time share by layer" in out
+    assert "top 3 functions" in out
+    report = json.loads(artifact.read_text())
+    assert report["experiment"] == "table3"
+    assert set(report["phases"]) == {"cold_run_s", "warm_run_s",
+                                     "profiled_run_s"}
+    assert report["layers"], "per-subpackage shares must not be empty"
+    assert len(report["top_functions"]) <= 3
+    shares = {row["name"] for row in report["modules"]}
+    assert any(name.startswith("traces") for name in shares)
+
+
+def test_profile_command_rejects_unknown_experiment(capsys):
+    assert main(["profile", "not-an-experiment"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
