@@ -12,7 +12,12 @@ that overhead back, and the budgets now hold the line *there*:
 * ``request_path_s`` — the full simulation path (the mac workload
   against one device of each class: disk, flash disk, flash card) must
   stay within 10% of the anchor, i.e. the request objects are no longer
-  allowed to cost more than noise.
+  allowed to cost more than noise;
+* ``traced_path_s`` — the same simulation path with an
+  ``ObservabilitySession`` attached must stay within 2x of the
+  *untraced* anchor: observing may cost, but never an order of
+  magnitude.  (Tracing disabled stays governed by ``request_path_s`` —
+  the session is strictly opt-in and off by default.)
 
 Wall times are normalized by a pure-Python calibration loop so the guard
 is comparable across machines: the asserted quantity is
@@ -45,7 +50,11 @@ BASELINE_PATH = Path(__file__).with_name("perf_baseline.json")
 #: Allowed normalized ratio of each measure vs the ``pre_refactor``
 #: anchor.  Budgets below 1.0 *require an improvement*: the hot-path
 #: engine must keep table3 at least 25% faster than the anchor.
-BUDGETS = {"table3_s": 0.75, "request_path_s": 1.1}
+BUDGETS = {"table3_s": 0.75, "request_path_s": 1.1, "traced_path_s": 2.0}
+#: Anchor key each measure compares against when the anchor predates the
+#: measure itself: the traced path is budgeted against the *untraced*
+#: pre-refactor request path (the anchor never ran under a tracer).
+ANCHOR_KEY = {"traced_path_s": "request_path_s"}
 REPEATS = 5
 
 
@@ -97,6 +106,24 @@ def measure_request_path() -> float:
     return _best(loop)
 
 
+def measure_traced_path() -> float:
+    """The request-path workload with a live ObservabilitySession."""
+    from repro.core.config import SimulationConfig
+    from repro.core.simulator import simulate
+    from repro.obs import ObservabilitySession
+    from repro.traces.workloads import workload_by_name
+
+    trace = workload_by_name("mac").generate(seed=7, n_ops=8000)
+    devices = ("cu140-datasheet", "sdp5a-datasheet", "intel-datasheet")
+
+    def loop() -> None:
+        session = ObservabilitySession()
+        for device in devices:
+            simulate(trace, SimulationConfig(device=device), obs=session)
+
+    return _best(loop)
+
+
 def collect() -> dict[str, float]:
     # Calibrate both before and after the measures and keep the minimum:
     # the measures take far longer than one calibration loop, so one-sided
@@ -105,6 +132,7 @@ def collect() -> dict[str, float]:
     measures = {
         "table3_s": measure_table3(),
         "request_path_s": measure_request_path(),
+        "traced_path_s": measure_traced_path(),
     }
     calibration = min(calibration, calibrate())
     return {"calibration_s": calibration, **measures}
@@ -145,8 +173,13 @@ def main(argv: list[str] | None = None) -> int:
     }
 
     def scores(sample: dict[str, float]) -> dict[str, float]:
+        def value(measure: str) -> float:
+            if measure in sample:
+                return sample[measure]
+            return sample[ANCHOR_KEY[measure]]
+
         return {
-            measure: sample[measure] / sample["calibration_s"]
+            measure: value(measure) / sample["calibration_s"]
             for measure in budgets
         }
 

@@ -8,6 +8,8 @@ Commands:
 * ``experiment``— run a registered experiment driver (same as the runner)
 * ``inspect``   — per-layer latency/energy attribution for an experiment
 * ``profile``   — time an experiment under cProfile and report where it goes
+* ``trace``     — record an event trace of an experiment's probes
+* ``metrics``   — sample a metrics time-series over an experiment's probes
 * ``run``       — parallel, cache-aware experiment runs via the engine
 * ``cache``     — manage the on-disk result cache (stats, clear)
 * ``faults``    — simulate under an injected-fault plan and report reliability
@@ -107,6 +109,63 @@ def _add_profile(subparsers) -> None:
                         help="also write the report as a JSON artifact")
 
 
+def _add_trace(subparsers) -> None:
+    from repro.experiments.runner import parse_scale
+    from repro.obs.events import DEFAULT_CAPACITY
+
+    parser = subparsers.add_parser(
+        "trace",
+        help="record an event trace of an experiment's probes",
+        description="Run the experiment's inspection probes under the "
+        "event tracer and export a Chrome trace_event JSON (loadable in "
+        "Perfetto / chrome://tracing) with one process track per probe "
+        "simulation.  The per-layer slices in the trace sum to the "
+        "run's SimulationResult.layer_breakdown bit for bit; a mismatch "
+        "makes the command exit non-zero.",
+    )
+    parser.add_argument("experiment_id")
+    parser.add_argument("--scale", type=parse_scale, default=0.1,
+                        help="trace-length scale in (0, 1] (default 0.1)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="trace-generation seed (default: module default)")
+    parser.add_argument("--trace-out", default="trace.json", metavar="PATH",
+                        help="Chrome trace_event JSON output "
+                        "(default trace.json)")
+    parser.add_argument("--jsonl-out", default=None, metavar="PATH",
+                        help="also write the raw events as JSON Lines")
+    parser.add_argument("--capacity", type=int, default=DEFAULT_CAPACITY,
+                        help="event ring-buffer bound (oldest dropped beyond)")
+    parser.add_argument("--sample-interval", type=int, default=64,
+                        metavar="OPS", help="ops between metric samples "
+                        "(default 64)")
+
+
+def _add_metrics(subparsers) -> None:
+    from repro.experiments.runner import parse_scale
+
+    parser = subparsers.add_parser(
+        "metrics",
+        help="sample a metrics time-series over an experiment's probes",
+        description="Run the experiment's inspection probes under the "
+        "metrics registry, sampling counters/gauges/histograms every "
+        "--sample-interval operations, and export the per-run series as "
+        "JSON (optionally the final run as Prometheus text).",
+    )
+    parser.add_argument("experiment_id")
+    parser.add_argument("--scale", type=parse_scale, default=0.1,
+                        help="trace-length scale in (0, 1] (default 0.1)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="trace-generation seed (default: module default)")
+    parser.add_argument("--metrics-out", default="metrics.json",
+                        metavar="PATH",
+                        help="metrics JSON output (default metrics.json)")
+    parser.add_argument("--prom-out", default=None, metavar="PATH",
+                        help="also write the final run as Prometheus text")
+    parser.add_argument("--sample-interval", type=int, default=64,
+                        metavar="OPS", help="ops between metric samples "
+                        "(default 64)")
+
+
 def _add_run(subparsers) -> None:
     from repro.experiments.runner import parse_scale
 
@@ -143,6 +202,14 @@ def _add_run(subparsers) -> None:
                         "this file (deterministic registry order)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-unit progress lines")
+    parser.add_argument("--trace-out", default=None, metavar="DIR",
+                        help="record each unit under the event tracer and "
+                        "write per-unit Chrome traces into this directory "
+                        "(forces recompute: cache replay has nothing to "
+                        "record)")
+    parser.add_argument("--metrics-out", default=None, metavar="DIR",
+                        help="sample each unit's metrics and write per-unit "
+                        "JSON series into this directory")
 
 
 def _add_cache(subparsers) -> None:
@@ -193,6 +260,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_experiment(subparsers)
     _add_inspect(subparsers)
     _add_profile(subparsers)
+    _add_trace(subparsers)
+    _add_metrics(subparsers)
     _add_run(subparsers)
     _add_cache(subparsers)
     _add_faults(subparsers)
@@ -313,6 +382,11 @@ def cmd_inspect(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(report.render())
+    # Diagnostics (the attribution-mismatch diff) go to stderr so a
+    # pipeline consuming the report on stdout still sees a clean table
+    # stream and the failure is visible where errors belong.
+    for line in report.diagnostics:
+        print(line, file=sys.stderr)
     return 0 if ok else 1
 
 
@@ -332,6 +406,18 @@ def cmd_profile(args) -> int:
         written = write_report(report, args.output)
         print(f"\nwrote {written}")
     return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.obs.cli import cmd_trace as run_trace
+
+    return run_trace(args)
+
+
+def cmd_metrics(args) -> int:
+    from repro.obs.cli import cmd_metrics as run_metrics
+
+    return run_metrics(args)
 
 
 def cmd_run(args) -> int:
@@ -409,6 +495,8 @@ def cmd_run(args) -> int:
                 trace_store=trace_store,
                 manifest=manifest,
                 progress=on_progress,
+                trace_dir=args.trace_out,
+                metrics_dir=args.metrics_out,
             )
     finally:
         if output is not None:
@@ -527,6 +615,8 @@ _COMMANDS = {
     "experiment": cmd_experiment,
     "inspect": cmd_inspect,
     "profile": cmd_profile,
+    "trace": cmd_trace,
+    "metrics": cmd_metrics,
     "run": cmd_run,
     "cache": cmd_cache,
     "faults": cmd_faults,

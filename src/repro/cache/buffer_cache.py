@@ -160,6 +160,11 @@ class BufferCache:
         return len(self._dirty)
 
     @property
+    def resident_blocks(self) -> int:
+        """Number of blocks currently resident (occupancy gauge)."""
+        return len(self.policy)
+
+    @property
     def hit_rate(self) -> float:
         """Fraction of looked-up blocks found resident."""
         total = self.hits + self.misses

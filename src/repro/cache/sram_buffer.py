@@ -66,6 +66,13 @@ class SramWriteBuffer:
         """Unoccupied block slots."""
         return self.capacity_blocks - len(self._dirty)
 
+    @property
+    def occupancy(self) -> float:
+        """Fill fraction, 0..1 (occupancy gauge; 0 when sized zero)."""
+        if self.capacity_blocks == 0:
+            return 0.0
+        return len(self._dirty) / self.capacity_blocks
+
     # -- energy ---------------------------------------------------------------
 
     def advance(self, until: float) -> None:

@@ -59,6 +59,26 @@ class HookBus:
         self.crash_hooks.append(hook)
         return hook
 
+    # Transient subscribers (an ObservabilitySession attaches for one run
+    # and must detach cleanly) need symmetric removal.  Removing is
+    # tolerant of double-detach; compiled emitters hold their snapshot and
+    # are unaffected mid-batch, exactly like late subscription.
+
+    def off_submit(self, hook: SubmitHook) -> None:
+        """Remove a previously subscribed submit hook (no-op if absent)."""
+        if hook in self.submit_hooks:
+            self.submit_hooks.remove(hook)
+
+    def off_complete(self, hook: CompleteHook) -> None:
+        """Remove a previously subscribed complete hook (no-op if absent)."""
+        if hook in self.complete_hooks:
+            self.complete_hooks.remove(hook)
+
+    def off_crash(self, hook: CrashHook) -> None:
+        """Remove a previously subscribed crash hook (no-op if absent)."""
+        if hook in self.crash_hooks:
+            self.crash_hooks.remove(hook)
+
     # -- emission ------------------------------------------------------------------
 
     def emit_submit(self, request: Request) -> None:

@@ -673,7 +673,10 @@ class LayerStack:
         Two sharp edges, both irrelevant to the simulator's use:
         subscribers added to the bus *during* the batch are not observed
         by it, and the Response delivered to ``on_complete`` is recycled —
-        a subscriber must not retain it across operations.
+        a subscriber must not retain it across operations.  (The
+        :class:`~repro.obs.session.ObservabilitySession` honours both: it
+        subscribes before the batch starts and copies what it needs out of
+        the Response inside its handler.)
         """
         n_ops = compiled.n_ops
         if stop is None:

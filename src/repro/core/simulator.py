@@ -38,6 +38,7 @@ from repro.core.results import SimulationResult
 from repro.devices.flashcard import FlashCard
 from repro.errors import TraceError
 from repro.faults.injector import FaultInjector
+from repro.obs import runtime as obs_runtime
 from repro.traces.compiled import compile_trace
 from repro.traces.filemap import FileMapper
 from repro.traces.trace import Trace
@@ -49,13 +50,25 @@ class Simulator:
     def __init__(self, config: SimulationConfig | None = None) -> None:
         self.config = config if config is not None else SimulationConfig()
 
-    def run(self, trace: Trace, *, batched: bool = True) -> SimulationResult:
+    def run(
+        self, trace: Trace, *, batched: bool = True, obs=None
+    ) -> SimulationResult:
         """Simulate ``trace`` and return the measured statistics.
 
         ``batched=False`` selects the per-operation reference path; the
         results are bit-identical either way.
+
+        ``obs`` optionally attaches an
+        :class:`~repro.obs.session.ObservabilitySession` (event tracing +
+        metrics) to this run; when omitted, the process-global session
+        from :mod:`repro.obs.runtime` is used if one is installed.
+        Observability subscribes through the hook bus and device sink
+        only — it never participates in the simulation arithmetic, so
+        results are bit-identical with or without it.
         """
         config = self.config
+        if obs is None:
+            obs = obs_runtime.active()
         plan = config.fault_plan
         # A plan with every rate zero and no power-loss schedule is treated
         # exactly like no plan at all: no injector, no extra stats keys, and
@@ -69,14 +82,14 @@ class Simulator:
                 config, trace.block_size, max(1, compiled.dataset_blocks),
                 injector=injector,
             )
-            return self._execute_batch(trace, compiled, hierarchy, injector)
+            return self._execute_batch(trace, compiled, hierarchy, injector, obs)
         mapper = FileMapper(trace.block_size)
         ops = mapper.translate_all(trace)
         hierarchy = build_hierarchy(
             config, trace.block_size, max(1, mapper.high_water_blocks),
             injector=injector,
         )
-        return self._execute(trace, ops, hierarchy, injector)
+        return self._execute(trace, ops, hierarchy, injector, obs)
 
     def _execute_batch(
         self,
@@ -84,6 +97,7 @@ class Simulator:
         compiled,
         hierarchy: StorageHierarchy,
         injector: FaultInjector | None = None,
+        obs=None,
     ) -> SimulationResult:
         config = self.config
         n_ops = compiled.n_ops
@@ -99,12 +113,19 @@ class Simulator:
             hierarchy.hooks.on_submit(
                 lambda request: stack.fire_pending_power_losses(request.time)
             )
+        if obs is not None:
+            # Attach the tracer/metrics session after the collector so its
+            # on_complete handler observes the same recycled Response, and
+            # before run_batch so the compiled emitters include it.
+            obs.begin_run(hierarchy, trace.name)
 
         if warm_count > 0:
             stack.run_batch(compiled, 0, min(warm_count, n_ops))
             if warm_count < n_ops:
                 hierarchy.reset_accounting()
                 collector.reset()
+            if obs is not None:
+                obs.warm_boundary()
         if warm_count < n_ops:
             stack.run_batch(compiled, warm_count, n_ops)
 
@@ -121,7 +142,10 @@ class Simulator:
             # so its duration must be zero (not end-to-end wall time).
             measured_start = end_time
         duration = max(0.0, end_time - measured_start)
-        return self._result(trace, hierarchy, collector, duration)
+        result = self._result(trace, hierarchy, collector, duration)
+        if obs is not None:
+            obs.end_run(result)
+        return result
 
     def _execute(
         self,
@@ -129,6 +153,7 @@ class Simulator:
         ops,
         hierarchy: StorageHierarchy,
         injector: FaultInjector | None = None,
+        obs=None,
     ) -> SimulationResult:
         config = self.config
         if not ops:
@@ -142,13 +167,21 @@ class Simulator:
             hierarchy.hooks.on_submit(
                 lambda request: stack.fire_pending_power_losses(request.time)
             )
+        if obs is not None:
+            obs.begin_run(hierarchy, trace.name)
 
         submit = hierarchy.stack.submit
         for index, op in enumerate(ops):
             if index == warm_count and warm_count > 0:
                 hierarchy.reset_accounting()
                 collector.reset()
+                if obs is not None:
+                    obs.warm_boundary()
             submit(op)
+        if obs is not None and warm_count >= len(ops) and warm_count > 0:
+            # The whole trace was warm-up: the measurement window is empty,
+            # and the session must report it that way too.
+            obs.warm_boundary()
 
         if injector is not None:
             hierarchy.stack.fire_pending_power_losses(float("inf"))
@@ -160,7 +193,10 @@ class Simulator:
         else:
             measured_start = end_time
         duration = max(0.0, end_time - measured_start)
-        return self._result(trace, hierarchy, collector, duration)
+        result = self._result(trace, hierarchy, collector, duration)
+        if obs is not None:
+            obs.end_run(result)
+        return result
 
     def _result(
         self,
@@ -227,6 +263,7 @@ def simulate(
     config: SimulationConfig | None = None,
     *,
     batched: bool = True,
+    obs=None,
 ) -> SimulationResult:
     """Convenience wrapper: simulate ``trace`` under ``config``."""
-    return Simulator(config).run(trace, batched=batched)
+    return Simulator(config).run(trace, batched=batched, obs=obs)

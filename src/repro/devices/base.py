@@ -40,6 +40,12 @@ class StorageDevice(ABC):
     #: request path skip reclamation accounting entirely for the rest.
     has_cleaning = False
 
+    #: Observability sink: ``sink(kind, t0_s, dur_s, name)`` called at rare
+    #: device-internal episodes (spin transitions, cleaning stalls,
+    #: background erases).  None by default — emission sites guard with a
+    #: single ``is not None`` check and never touch the simulation math.
+    obs_sink = None
+
     def __init__(self, name: str) -> None:
         self.name = name
         self.energy = EnergyMeter(name)
@@ -49,6 +55,10 @@ class StorageDevice(ABC):
         self.writes = 0
         self.bytes_read = 0
         self.bytes_written = 0
+
+    def set_obs_sink(self, sink) -> None:
+        """Attach (or, with None, detach) the observability event sink."""
+        self.obs_sink = sink
 
     # -- time bookkeeping ------------------------------------------------------
 

@@ -78,6 +78,10 @@ class MagneticDisk(StorageDevice):
                 self.state = DiskState.SPINNING_DOWN
                 self._spin_down_end = self.clock + self.spec.spin_down_s
                 self.spin_downs += 1
+                if self.obs_sink is not None:
+                    self.obs_sink(
+                        "spin_down", self.clock, self.spec.spin_down_s, self.name
+                    )
             elif self.state is DiskState.SPINNING_DOWN:
                 end = min(until, self._spin_down_end)
                 self.energy.charge(
@@ -131,6 +135,8 @@ class MagneticDisk(StorageDevice):
         if self.state is DiskState.SLEEPING:
             self.policy.note_spin_up(now, now - self._idle_since)
             self.energy.charge("spin_up", spec.spin_up_power_w, spec.spin_up_s)
+            if self.obs_sink is not None:
+                self.obs_sink("spin_up", now, spec.spin_up_s, self.name)
             now += spec.spin_up_s
             self.spin_ups += 1
             self.state = DiskState.SPINNING

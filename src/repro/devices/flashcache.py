@@ -96,6 +96,13 @@ class FlashCacheDevice(StorageDevice):
         # flash absorbs it without waking the disk.
         return True
 
+    def set_obs_sink(self, sink) -> None:
+        # Spin events come from the disk, cleaning stalls from the flash;
+        # the composite itself emits nothing.
+        self.obs_sink = sink
+        self.disk.set_obs_sink(sink)
+        self.flash.set_obs_sink(sink)
+
     def power_cycle(self, at: float) -> None:
         # Both media lose power; the flash-resident cache map survives in
         # this model only for blocks already written back — dirty residency

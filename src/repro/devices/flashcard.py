@@ -452,6 +452,8 @@ class FlashCard(StorageDevice):
             now = self._run_job_to_completion(now, "clean")
         self.stalled_writes += 1
         self.write_stall_s += now - stall_start
+        if self.obs_sink is not None:
+            self.obs_sink("cleaning", stall_start, now - stall_start, self.name)
         return now
 
     def delete(self, at: float, blocks: Sequence[int]) -> None:

@@ -102,6 +102,7 @@ class FlashDisk(StorageDevice):
         # during I/O.
         budget = until - self.clock
         per_sector = self._sector_erase_s
+        cursor = self.clock  # tracks erase-completion times for the obs sink
         while budget > 0 and self.sector_map.dirty_sectors > 0:
             needed = per_sector - self._erase_progress_s
             if budget < needed:
@@ -112,6 +113,9 @@ class FlashDisk(StorageDevice):
             self.energy.charge("erase", self.spec.active_power_w, needed)
             budget -= needed
             self._erase_progress_s = 0.0
+            if self.obs_sink is not None:
+                self.obs_sink("erase", cursor, needed, self.name)
+            cursor += needed
             # The SDP spec sheet quotes no endurance figure; per-sector wear
             # is untracked, so failures arrive at the plan's flat base rate.
             if self._injector is not None and self._injector.erase_failure(0, 1):

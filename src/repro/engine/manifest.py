@@ -19,7 +19,7 @@ from repro.engine.unit import WorkUnit
 #: Fields every unit record carries (tested as the manifest schema).
 UNIT_FIELDS = (
     "record", "experiment_id", "scale", "seed", "kwargs", "key",
-    "cache", "worker", "wall_s", "outcome", "error",
+    "cache", "worker", "wall_s", "outcome", "error", "artifacts",
 )
 
 
@@ -72,6 +72,7 @@ class RunManifest:
         wall_s: float,
         outcome: str,
         error: str | None = None,
+        artifacts: dict[str, str] | None = None,
     ) -> None:
         self._write(
             {
@@ -86,6 +87,7 @@ class RunManifest:
                 "wall_s": round(wall_s, 6),
                 "outcome": outcome,
                 "error": error,
+                "artifacts": artifacts,
             }
         )
 

@@ -59,6 +59,9 @@ class UnitOutcome:
     worker: int
     wall_s: float
     error: str | None = None
+    #: observability artifact paths ({"trace": ..., "metrics": ...}) when
+    #: the run was recorded; None otherwise
+    artifacts: dict[str, str] | None = None
 
     @property
     def ok(self) -> bool:
@@ -82,6 +85,50 @@ def run_unit_inline(unit: WorkUnit) -> ExperimentResult:
     )
 
 
+def _artifact_stem(unit: WorkUnit) -> str:
+    stem = f"{unit.experiment_id}-s{unit.scale:g}"
+    if unit.seed is not None:
+        stem += f"-seed{unit.seed}"
+    return stem
+
+
+def run_unit_observed(
+    unit: WorkUnit,
+    trace_dir: str | None = None,
+    metrics_dir: str | None = None,
+) -> tuple[ExperimentResult, dict[str, str]]:
+    """Execute one unit under an :class:`~repro.obs.session.ObservabilitySession`.
+
+    The session is installed process-globally for the duration, so every
+    simulation the driver runs is traced (observation does not change
+    results — the session only reads the collector's floats).  Returns
+    ``(result, artifacts)`` where artifacts maps kind -> written path.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.obs import ObservabilitySession
+    from repro.obs import runtime as obs_runtime
+
+    session = ObservabilitySession()
+    with obs_runtime.observed(session):
+        result = run_unit_inline(unit)
+    stem = _artifact_stem(unit)
+    artifacts: dict[str, str] = {}
+    if trace_dir is not None:
+        path = session.tracer.write_chrome(
+            Path(trace_dir) / f"{stem}.trace.json"
+        )
+        artifacts["trace"] = str(path)
+    if metrics_dir is not None:
+        path = Path(metrics_dir) / f"{stem}.metrics.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as stream:
+            json.dump(session.to_json_dict(), stream)
+        artifacts["metrics"] = str(path)
+    return result, artifacts
+
+
 # -- worker-process entry points (module-level for picklability) -----------
 
 def _worker_init(store_root: str | None) -> None:
@@ -91,13 +138,22 @@ def _worker_init(store_root: str | None) -> None:
         traces_cache.configure_trace_store(TraceStore(store_root))
 
 
-def _worker_run(unit: WorkUnit) -> tuple[int, float, ExperimentResult | None, str | None]:
+def _worker_run(
+    unit: WorkUnit,
+    trace_dir: str | None = None,
+    metrics_dir: str | None = None,
+) -> tuple[int, float, ExperimentResult | None, str | None, dict[str, str] | None]:
     start = time.perf_counter()
     try:
-        result = run_unit_inline(unit)
-        return os.getpid(), time.perf_counter() - start, result, None
+        if trace_dir is not None or metrics_dir is not None:
+            result, artifacts = run_unit_observed(unit, trace_dir, metrics_dir)
+        else:
+            result = run_unit_inline(unit)
+            artifacts = None
+        return os.getpid(), time.perf_counter() - start, result, None, artifacts
     except Exception:
-        return os.getpid(), time.perf_counter() - start, None, traceback.format_exc()
+        return (os.getpid(), time.perf_counter() - start, None,
+                traceback.format_exc(), None)
 
 
 def _distinct_trace_requests(units: Sequence[WorkUnit]) -> set[tuple[float, int]]:
@@ -118,10 +174,19 @@ def execute(
     trace_store: TraceStore | None = None,
     manifest: RunManifest | None = None,
     progress: ProgressCallback | None = None,
+    trace_dir: str | None = None,
+    metrics_dir: str | None = None,
 ) -> list[UnitOutcome]:
     """Run every unit; returns one :class:`UnitOutcome` per unit, in the
     input order.  Never raises for a unit failure — inspect ``.error``
-    (or use :func:`raise_on_errors`)."""
+    (or use :func:`raise_on_errors`).
+
+    ``trace_dir``/``metrics_dir`` turn on per-unit observability: every
+    unit recomputes under an ObservabilitySession (cache reads are
+    skipped — a cache hit would have nothing to record — but finished
+    results still land in the cache) and writes its artifacts into the
+    given directories, with the paths carried on
+    :attr:`UnitOutcome.artifacts` and in the run manifest."""
     jobs = jobs if jobs is not None else (os.cpu_count() or 1)
     if jobs < 1:
         raise EngineError(f"jobs must be >= 1, got {jobs}")
@@ -156,15 +221,22 @@ def execute(
                 wall_s=outcome.wall_s,
                 outcome="ok" if outcome.ok else "error",
                 error=outcome.error,
+                artifacts=outcome.artifacts,
             )
         if progress is not None:
             progress(done, total, outcome)
 
-    # Resolve cache hits in the parent before spawning anything.
+    observing = trace_dir is not None or metrics_dir is not None
+
+    # Resolve cache hits in the parent before spawning anything.  An
+    # observed run recomputes everything: a replayed result has no events
+    # to record, and observation is bit-neutral so the recompute is safe.
     pending: list[tuple[int, WorkUnit, str]] = []
     for index, unit in enumerate(units):
         key = cache_key(unit, fingerprint=fingerprint, version=version)
-        cached = cache.get(key) if cache is not None else None
+        cached = (
+            cache.get(key) if cache is not None and not observing else None
+        )
         if cached is not None:
             finish(index, UnitOutcome(
                 unit=unit, key=key, result=cached, cache="hit",
@@ -181,7 +253,8 @@ def execute(
 
     def record_miss(index: int, unit: WorkUnit, key: str, worker: int,
                     wall_s: float, result: ExperimentResult | None,
-                    error: str | None) -> None:
+                    error: str | None,
+                    artifacts: dict[str, str] | None = None) -> None:
         if result is not None and cache is not None:
             cache.put(key, result, meta={
                 "experiment_id": unit.experiment_id,
@@ -192,21 +265,27 @@ def execute(
             })
         finish(index, UnitOutcome(
             unit=unit, key=key, result=result, cache=cache_state,
-            worker=worker, wall_s=wall_s, error=error,
+            worker=worker, wall_s=wall_s, error=error, artifacts=artifacts,
         ))
 
     if jobs == 1:
         # In-process serial path: byte-identical to the historical runner.
         for index, unit, key in pending:
             start = time.perf_counter()
+            artifacts = None
             try:
-                result = run_unit_inline(unit)
+                if observing:
+                    result, artifacts = run_unit_observed(
+                        unit, trace_dir, metrics_dir
+                    )
+                else:
+                    result = run_unit_inline(unit)
                 error = None
             except Exception:
                 result = None
                 error = traceback.format_exc()
             record_miss(index, unit, key, os.getpid(),
-                        time.perf_counter() - start, result, error)
+                        time.perf_counter() - start, result, error, artifacts)
     elif pending:
         store_root = str(trace_store.root) if trace_store is not None else None
         with ProcessPoolExecutor(
@@ -215,7 +294,8 @@ def execute(
             initargs=(store_root,),
         ) as pool:
             futures = {
-                pool.submit(_worker_run, unit): (index, unit, key)
+                pool.submit(_worker_run, unit, trace_dir, metrics_dir):
+                    (index, unit, key)
                 for index, unit, key in pending
             }
             remaining = set(futures)
@@ -224,11 +304,13 @@ def execute(
                 for future in finished:
                     index, unit, key = futures[future]
                     try:
-                        worker, wall_s, result, error = future.result()
+                        worker, wall_s, result, error, artifacts = future.result()
                     except Exception:  # pool breakage (e.g. worker killed)
                         worker, wall_s, result = os.getpid(), 0.0, None
                         error = traceback.format_exc()
-                    record_miss(index, unit, key, worker, wall_s, result, error)
+                        artifacts = None
+                    record_miss(index, unit, key, worker, wall_s, result,
+                                error, artifacts)
 
     return [outcomes[index] for index in range(total)]
 

@@ -82,6 +82,9 @@ class ExperimentResult:
     scale: float = 1.0
     #: optional pre-rendered ASCII charts (see repro.experiments.plotting)
     charts: tuple[str, ...] = ()
+    #: machine-facing failure detail (e.g. inspect's attribution-mismatch
+    #: diff) — excluded from render(); the CLI routes these to stderr
+    diagnostics: tuple[str, ...] = ()
 
     def render(self) -> str:
         """Human-readable report: all tables, charts, then notes."""

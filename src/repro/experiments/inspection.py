@@ -129,8 +129,15 @@ def probes_for(experiment_id: str) -> tuple[Probe, ...]:
     return _PROBES.get(experiment_id, _DEFAULT_PROBES)
 
 
-def _breakdown_table(label: str, result: SimulationResult) -> tuple[Table, bool]:
-    """Render one result's layer breakdown; returns (table, sums_ok)."""
+def _breakdown_table(
+    label: str, result: SimulationResult
+) -> tuple[Table, bool, str | None]:
+    """Render one result's layer breakdown.
+
+    Returns ``(table, sums_ok, diagnostic)``; the diagnostic is a
+    machine-facing one-liner quantifying the mismatch when ``sums_ok``
+    is False, else None.
+    """
     breakdown = result.layer_breakdown
     latency_sum = sum(cell["latency_s"] for cell in breakdown.values())
     energy_sum = sum(cell["energy_j"] for cell in breakdown.values())
@@ -168,7 +175,16 @@ def _breakdown_table(label: str, result: SimulationResult) -> tuple[Table, bool]
         headers=("layer", "latency s", "lat %", "energy J", "en %"),
         rows=tuple(rows),
     )
-    return table, ok
+    diagnostic = None
+    if not ok:
+        diagnostic = (
+            f"{label}: layer components do not sum to totals — latency "
+            f"{latency_sum!r} vs {latency_total!r} "
+            f"(diff {latency_sum - latency_total:g}), energy "
+            f"{energy_sum!r} vs {energy_total!r} "
+            f"(diff {energy_sum - energy_total:g})"
+        )
+    return table, ok, diagnostic
 
 
 def _share(value: float, total: float) -> str:
@@ -187,12 +203,15 @@ def inspect_experiment(
     """
     experiment = get_experiment(experiment_id)  # validates the id
     tables = []
+    diagnostics = []
     all_ok = True
     for probe in probes_for(experiment_id):
         trace = trace_for(probe.trace_name, scale, seed=seed)
         result = simulate(trace, probe.config())
-        table, ok = _breakdown_table(probe.label, result)
+        table, ok, diagnostic = _breakdown_table(probe.label, result)
         tables.append(table)
+        if diagnostic is not None:
+            diagnostics.append(diagnostic)
         all_ok = all_ok and ok
     notes = [
         "latency: foreground response time attributed to the layer that "
@@ -206,7 +225,10 @@ def inspect_experiment(
             "testbed micro-benchmarks); showing the standard probes instead.",
         )
     if not all_ok:
-        notes.append(
+        # The mismatch goes into diagnostics (stderr), not notes (stdout):
+        # the rendered report stays a clean table stream for pipelines.
+        diagnostics.insert(
+            0,
             "ATTRIBUTION MISMATCH: a probe's per-layer components do not "
             "sum to its reported totals — the request path is losing or "
             "double-counting work.",
@@ -217,5 +239,6 @@ def inspect_experiment(
         tables=tuple(tables),
         notes=tuple(notes),
         scale=scale,
+        diagnostics=tuple(diagnostics),
     )
     return report, all_ok

@@ -17,6 +17,8 @@ while simulating; :meth:`ReliabilityMeter.snapshot` freezes it into the
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 from repro.core.metrics import ReliabilityStats
 from repro.devices.base import StorageDevice
 from repro.faults.plan import FaultPlan
@@ -42,6 +44,21 @@ class ReliabilityMeter:
     def reset(self) -> None:
         """Zero every counter (warm-start boundary)."""
         self.__init__()
+
+    def live_counters(self) -> dict[str, "Callable[[], float]"]:
+        """Named zero-argument readers over the mutable counters.
+
+        Observability gauges bind to these so a metrics sample sees the
+        meter's current value without snapshotting the whole device.
+        """
+        return {
+            name: (lambda n=name: getattr(self, n))
+            for name in (
+                "read_retries", "write_retries", "unrecovered_errors",
+                "retry_delay_s", "power_losses", "torn_writes",
+                "replayed_blocks", "recovery_time_s",
+            )
+        }
 
     def snapshot(self, device: StorageDevice) -> ReliabilityStats:
         """Freeze the counters, folding in the device's own bad-block

@@ -1,0 +1,30 @@
+"""Structured observability: event tracing and metrics export.
+
+See ``DESIGN.md`` section 4e for the event schema and sampling model.
+
+* :class:`~repro.obs.events.EventTracer` — typed span events in a bounded
+  ring buffer; JSONL and Chrome ``trace_event`` (Perfetto) export.
+* :class:`~repro.obs.metrics.MetricsRegistry` — named counters, gauges,
+  and histograms sampled on an op-interval; JSON and Prometheus export.
+* :class:`~repro.obs.session.ObservabilitySession` — wires both onto a
+  simulation via the hierarchy's :class:`~repro.core.hooks.HookBus`.
+* :mod:`~repro.obs.runtime` — the process-global install point the CLI
+  and the parallel engine use.
+
+Observability is off by default and costs nothing when off: no hook-bus
+subscribers, no device sink, one global read per ``Simulator.run``.
+"""
+
+from repro.obs.events import EventTracer, read_chrome_layer_totals
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.session import ObservabilitySession
+
+__all__ = [
+    "Counter",
+    "EventTracer",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObservabilitySession",
+    "read_chrome_layer_totals",
+]

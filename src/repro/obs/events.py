@@ -1,0 +1,282 @@
+"""Typed span events and the bounded ring buffer that records them.
+
+The tracer answers the question the run-level reports cannot: *what
+happened, when, inside one simulation?*  Every foreground request becomes
+a span; every per-layer attribution becomes a child slice that tiles the
+span exactly (the slices are laid end to end in first-touch order, and
+their durations are the very floats the
+:class:`~repro.core.metrics.MetricsCollector` folds into
+``SimulationResult.layer_breakdown`` — so the trace and the report agree
+bit for bit).  Device-internal episodes (spin-ups and spin-downs,
+foreground cleaning stalls, background sector erases) and crash/recovery
+windows get their own spans, and DRAM cache hit/miss totals ride along as
+a counter track.
+
+Storage is a bounded ring: events are fixed-shape tuples appended to a
+:class:`collections.deque`; when the buffer is full the oldest event is
+dropped (and counted).  A tracer that is ``enabled=False`` subscribes to
+nothing and costs nothing — the hook bus compiles its emitters without
+it, so the batched fast path is untouched.
+
+Event tuple shape (one tuple per event, no per-event dicts)::
+
+    (kind, t0_s, dur_s, name, a, b)
+
+===========  =====================  ==========================================
+kind         name                   a, b
+===========  =====================  ==========================================
+``run``      "trace|device"         run index, 0
+``request``  "read"/"write"/...     0, 0
+``layer``    layer name             0, energy_j   (dur_s is the latency)
+``cache``    "dram"                 cumulative hits, cumulative misses
+``spin_up``  device name            0, 0
+``spin_down`` device name           0, 0
+``cleaning`` device name            0, 0          (dur_s is the stall)
+``erase``    device name            0, 0
+``crash``    "power-loss"           0, 0          (dur_s is the recovery)
+===========  =====================  ==========================================
+
+Exports: :meth:`EventTracer.write_jsonl` (one JSON object per line, field
+names per kind) and :meth:`EventTracer.write_chrome` (Chrome
+``trace_event`` JSON, loadable in Perfetto / ``chrome://tracing``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+#: Event kinds a tracer records (the ``kind`` slot of every tuple).
+EVENT_KINDS = (
+    "run", "request", "layer", "cache",
+    "spin_up", "spin_down", "cleaning", "erase", "crash",
+)
+
+Event = tuple  # (kind, t0_s, dur_s, name, a, b)
+
+#: Default ring capacity: roomy enough that a CLI-scale run never drops.
+DEFAULT_CAPACITY = 1_048_576
+
+
+class EventTracer:
+    """A bounded ring buffer of typed simulation events.
+
+    The hot-path contract: :meth:`emit` is the only per-event call, it
+    allocates one tuple, and the ring bound is enforced with a single
+    length check.  Everything else (export, summaries) walks the buffer
+    after the run.
+    """
+
+    __slots__ = ("capacity", "enabled", "emitted", "dropped", "_events")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY, enabled: bool = True) -> None:
+        if capacity < 1:
+            raise ValueError(f"tracer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.enabled = enabled
+        self.emitted = 0      # events ever emitted (including dropped)
+        self.dropped = 0      # events evicted by the ring bound
+        self._events: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def emit(self, kind: str, t0: float, dur: float, name: str,
+             a: float = 0.0, b: float = 0.0) -> None:
+        """Record one event, evicting the oldest if the ring is full."""
+        events = self._events
+        if len(events) >= self.capacity:
+            events.popleft()
+            self.dropped += 1
+        events.append((kind, t0, dur, name, a, b))
+        self.emitted += 1
+
+    def events(self) -> Iterator[Event]:
+        """The buffered events, oldest first."""
+        return iter(self._events)
+
+    def clear(self) -> None:
+        """Drop every buffered event and zero the counters."""
+        self._events.clear()
+        self.emitted = 0
+        self.dropped = 0
+
+    def rollback(self, emitted_mark: int) -> int:
+        """Discard events emitted after ``emitted_mark`` (warm boundary).
+
+        Returns the number of events removed.  Only events still in the
+        buffer can be removed; the ``emitted`` counter rewinds to the mark
+        so a later mark/rollback pair composes.
+        """
+        excess = self.emitted - emitted_mark
+        removed = 0
+        events = self._events
+        while removed < excess and events:
+            events.pop()
+            removed += 1
+        self.emitted = emitted_mark
+        return removed
+
+    # -- summaries ---------------------------------------------------------------
+
+    def layer_latency_totals(self, since_run: int | None = None) -> dict[str, float]:
+        """Per-layer summed slice durations, in emission order.
+
+        ``since_run`` restricts the sum to events after the ``run`` marker
+        with that index (``None`` sums everything buffered).  Summing in
+        emission order reproduces the collector's fold exactly, so — when
+        nothing was dropped — the totals equal the latency column of
+        ``SimulationResult.layer_breakdown`` bit for bit.
+        """
+        totals: dict[str, float] = {}
+        active = since_run is None
+        for kind, _t0, dur, name, a, _b in self._events:
+            if kind == "run":
+                if since_run is not None:
+                    active = int(a) == since_run
+                continue
+            if active and kind == "layer":
+                totals[name] = totals.get(name, 0.0) + dur
+        return totals
+
+    def counts(self) -> dict[str, int]:
+        """Buffered event counts by kind."""
+        counts: dict[str, int] = {}
+        for event in self._events:
+            counts[event[0]] = counts.get(event[0], 0) + 1
+        return counts
+
+    # -- export ------------------------------------------------------------------
+
+    def as_dicts(self) -> Iterator[dict[str, Any]]:
+        """Events as JSON-ready dicts with per-kind field names."""
+        for kind, t0, dur, name, a, b in self._events:
+            record: dict[str, Any] = {"kind": kind, "t0_s": t0, "name": name}
+            if kind == "run":
+                record["run"] = int(a)
+            elif kind == "layer":
+                record["latency_s"] = dur
+                record["energy_j"] = b
+            elif kind == "cache":
+                record["hits"] = int(a)
+                record["misses"] = int(b)
+            else:
+                record["dur_s"] = dur
+            yield record
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Write the buffered events as JSON Lines; returns the path."""
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as stream:
+            for record in self.as_dicts():
+                stream.write(json.dumps(record) + "\n")
+        return path
+
+    def to_chrome(self) -> dict[str, Any]:
+        """The buffered events in Chrome ``trace_event`` JSON form.
+
+        Each ``run`` marker opens a new pid (one process track per
+        simulation); layers get stable tids with ``thread_name`` metadata;
+        cache totals become a counter track.  ``ts``/``dur`` are
+        microseconds as the format requires, while ``args`` carries the
+        exact second-denominated floats so downstream checks can compare
+        against ``SimulationResult.layer_breakdown`` without rounding.
+        """
+        trace_events: list[dict[str, Any]] = []
+        pid = 0
+        tids: dict[str, int] = {}
+
+        def tid_for(label: str) -> int:
+            tid = tids.get(label)
+            if tid is None:
+                tid = len(tids)
+                tids[label] = tid
+                trace_events.append({
+                    "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                    "args": {"name": label},
+                })
+            return tid
+
+        for kind, t0, dur, name, a, b in self._events:
+            if kind == "run":
+                pid = int(a) + 1
+                tids = {}
+                trace_events.append({
+                    "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                    "args": {"name": name},
+                })
+                continue
+            ts = t0 * 1e6
+            if kind == "cache":
+                trace_events.append({
+                    "name": "dram-cache", "ph": "C", "ts": ts, "pid": pid,
+                    "tid": tid_for("cache"),
+                    "args": {"hits": int(a), "misses": int(b)},
+                })
+                continue
+            if kind == "request":
+                track, args, label = "requests", {"response_s": dur}, name
+            elif kind == "layer":
+                track = f"layer:{name}"
+                args = {"latency_s": dur, "energy_j": b}
+                label = name
+            elif kind == "crash":
+                track, args, label = "crash", {"recovery_s": dur}, name
+            else:  # spin_up / spin_down / cleaning / erase
+                track = "device-events"
+                args = {"dur_s": dur, "device": name}
+                label = kind
+            trace_events.append({
+                "name": label,
+                "cat": kind, "ph": "X", "ts": ts, "dur": dur * 1e6,
+                "pid": pid, "tid": tid_for(track), "args": args,
+            })
+        return {
+            "traceEvents": trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "repro.obs",
+                "emitted": self.emitted,
+                "dropped": self.dropped,
+            },
+        }
+
+    def write_chrome(self, path: str | Path) -> Path:
+        """Write the Chrome trace JSON; returns the path."""
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_chrome()))
+        return path
+
+
+def read_chrome_layer_totals(path: str | Path) -> list[dict[str, float]]:
+    """Per-run per-layer latency sums read back from a Chrome trace file.
+
+    Returns one ``{layer: latency_s}`` dict per process track (i.e. per
+    simulation run), summing the exact ``args.latency_s`` floats in file
+    order — the acceptance check that the exported artifact agrees with
+    ``SimulationResult.layer_breakdown``.
+    """
+    data = json.loads(Path(path).read_text())
+    runs: dict[int, dict[str, float]] = {}
+    for event in data["traceEvents"]:
+        if event.get("cat") != "layer":
+            continue
+        totals = runs.setdefault(event["pid"], {})
+        name = event["name"]
+        totals[name] = totals.get(name, 0.0) + event["args"]["latency_s"]
+    return [runs[pid] for pid in sorted(runs)]
+
+
+def iter_jsonl(path: str | Path) -> Iterable[dict[str, Any]]:
+    """Parse a JSONL event file back into dicts."""
+    with open(Path(path)) as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

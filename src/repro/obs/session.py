@@ -1,0 +1,318 @@
+"""The ObservabilitySession: tracer + metrics wired onto one simulation.
+
+A session owns one :class:`~repro.obs.events.EventTracer` and one
+:class:`~repro.obs.metrics.MetricsRegistry` and attaches them to a
+:class:`~repro.core.hierarchy.StorageHierarchy` for the duration of a run:
+
+* ``begin_run`` subscribes the session's ``on_complete``/``on_crash``
+  handlers to the hierarchy's hook bus, points the device's ``obs_sink``
+  at the tracer, and binds gauges to the live cache/buffer/device state;
+* ``warm_boundary`` discards everything recorded during the warm-start
+  prefix (the tracer rolls back to the run marker, the registry resets),
+  mirroring the simulator's own accounting reset;
+* ``end_run`` takes a final sample, fills the wear histogram from the
+  flash card's segments, snapshots the registry into a per-run summary,
+  and detaches every subscription.
+
+The session is what :meth:`Simulator.run(..., obs=...)
+<repro.core.simulator.Simulator.run>` accepts, and what
+:mod:`repro.obs.runtime` installs process-globally so experiment drivers
+pick it up without signature changes.
+
+Agreement contract: the per-layer latency slices the session emits are
+exactly the floats the :class:`~repro.core.metrics.MetricsCollector`
+folds, accumulated in the same order — so ``layer_latency_s`` in a run
+summary equals the latency column of ``SimulationResult.layer_breakdown``
+bit for bit (layers the collector never saw report 0.0 on both sides).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.core.request import LAYER_NAMES, RequestKind
+from repro.obs.events import DEFAULT_CAPACITY, EventTracer
+from repro.obs.metrics import (
+    DEFAULT_MAX_SAMPLES,
+    MetricsRegistry,
+    exponential_bounds,
+)
+
+if TYPE_CHECKING:
+    from repro.core.hierarchy import StorageHierarchy
+    from repro.core.results import SimulationResult
+
+_READ = RequestKind.READ
+_DELETE = RequestKind.DELETE
+
+#: Response-time buckets: 10 us .. ~5 s, geometric (covers DRAM hits
+#: through disk spin-up waits).
+RESPONSE_BOUNDS = exponential_bounds(1e-5, 2.0, 20)
+#: Wear buckets: segment erase counts 1 .. 2048.
+WEAR_BOUNDS = exponential_bounds(1.0, 2.0, 12)
+
+#: Device-sink event kind -> session counter name.
+_DEVICE_COUNTERS = {
+    "spin_up": "spin_ups_total",
+    "spin_down": "spin_downs_total",
+    "cleaning": "cleaning_stalls_total",
+    "erase": "erases_total",
+}
+
+
+class ObservabilitySession:
+    """One tracer + one registry, attachable to successive simulations.
+
+    A session outlives individual runs: ``repro trace`` drives several
+    probe simulations through one session and exports a single artifact
+    with one run marker (and one Chrome process track) per simulation.
+    """
+
+    def __init__(
+        self,
+        trace_capacity: int = DEFAULT_CAPACITY,
+        sample_interval_ops: int = 64,
+        max_samples: int = DEFAULT_MAX_SAMPLES,
+    ) -> None:
+        self.tracer = EventTracer(trace_capacity)
+        self.registry = MetricsRegistry(sample_interval_ops, max_samples)
+        self.runs: list[dict[str, Any]] = []
+        self._run_index = -1
+        self._hierarchy: StorageHierarchy | None = None
+        self._mark = 0
+        self._layer_sums: dict[str, float] = {}
+        self._last_hits = -1
+        self._last_misses = -1
+
+        registry = self.registry
+        self._ops = registry.counter("ops_total", "measured operations completed")
+        self._reads = registry.counter("reads_total", "measured read operations")
+        self._writes = registry.counter("writes_total", "measured write operations")
+        self._deletes = registry.counter("deletes_total", "measured delete operations")
+        self._crashes = registry.counter("crashes_total", "power losses recovered")
+        self._resp_hist = registry.histogram(
+            "response_time_s", RESPONSE_BOUNDS, "foreground response times"
+        )
+        self._wear_hist = registry.histogram(
+            "segment_wear_erases", WEAR_BOUNDS,
+            "per-segment erase counts at end of run",
+        )
+        self._device_counters = {
+            kind: registry.counter(name, f"device {kind} episodes")
+            for kind, name in _DEVICE_COUNTERS.items()
+        }
+
+    # -- run lifecycle -----------------------------------------------------------
+
+    def begin_run(self, hierarchy: "StorageHierarchy", label: str) -> int:
+        """Attach to ``hierarchy``; returns the new run's index."""
+        if self._hierarchy is not None:
+            raise RuntimeError("a run is already active on this session")
+        self._run_index += 1
+        self._hierarchy = hierarchy
+        self._layer_sums = {}
+        self._last_hits = -1
+        self._last_misses = -1
+
+        registry = self.registry
+        registry.reset()
+        self._bind_gauges(hierarchy)
+
+        hierarchy.hooks.on_complete(self._on_complete)
+        hierarchy.hooks.on_crash(self._on_crash)
+        hierarchy.device.set_obs_sink(self._device_event)
+
+        device = hierarchy.device
+        self.tracer.emit(
+            "run", 0.0, 0.0, f"{label}|{device.name}", float(self._run_index)
+        )
+        self._mark = self.tracer.emitted
+        return self._run_index
+
+    def warm_boundary(self) -> None:
+        """Discard everything recorded during the warm-start prefix."""
+        self.tracer.rollback(self._mark)
+        hierarchy = self._hierarchy
+        self.registry.reset()
+        if hierarchy is not None:
+            self._bind_gauges(hierarchy)
+        self._layer_sums = {}
+        self._last_hits = -1
+        self._last_misses = -1
+
+    def end_run(self, result: "SimulationResult | None" = None) -> dict[str, Any]:
+        """Detach from the hierarchy and snapshot the run's metrics."""
+        hierarchy = self._hierarchy
+        if hierarchy is None:
+            raise RuntimeError("no active run to end")
+        self._hierarchy = None
+
+        hierarchy.hooks.off_complete(self._on_complete)
+        hierarchy.hooks.off_crash(self._on_crash)
+        device = hierarchy.device
+        device.set_obs_sink(None)
+
+        self._fill_wear_histogram(device)
+        self.registry.force_sample(hierarchy.latest_time())
+
+        summary: dict[str, Any] = {
+            "run": self._run_index,
+            "device": device.name,
+            "layer_latency_s": dict(self._layer_sums),
+            "device_stats": device.stats(),
+            "metrics": self.registry.to_json_dict(),
+        }
+        if result is not None:
+            reported = {
+                name: parts["latency_s"]
+                for name, parts in result.layer_breakdown.items()
+            }
+            summary["layer_breakdown_latency_s"] = reported
+            summary["agreement_max_abs_diff"] = max(
+                (
+                    abs(reported.get(name, 0.0) - self._layer_sums.get(name, 0.0))
+                    for name in set(reported) | set(self._layer_sums)
+                ),
+                default=0.0,
+            )
+        self.runs.append(summary)
+        return summary
+
+    # -- hot-path handlers -------------------------------------------------------
+
+    def _on_complete(self, response) -> None:
+        """``on_complete`` subscriber: one request span + its layer slices.
+
+        Reads the recycled Response's interned-id arrays immediately (the
+        batched driver reuses the object), accumulating per-layer latency
+        in the collector's exact fold order.
+        """
+        request = response.request
+        kind = request.kind
+        emit = self.tracer.emit
+        t0 = response.issued_at
+        if kind is _DELETE:
+            self._deletes.inc()
+            self._ops.inc()
+            emit("request", t0, 0.0, "delete")
+            self.registry.maybe_sample(response.completed_at)
+            return
+        dur = response.completed_at - t0
+        emit("request", t0, dur, kind.value)
+        lat = response._lat
+        en = response._en
+        sums = self._layer_sums
+        names = LAYER_NAMES
+        for layer_id in response._touched:
+            slice_s = lat[layer_id]
+            name = names[layer_id]
+            emit("layer", t0, slice_s, name, 0.0, en[layer_id])
+            sums[name] = sums.get(name, 0.0) + slice_s
+        self._ops.inc()
+        if kind is _READ:
+            self._reads.inc()
+        else:
+            self._writes.inc()
+        self._resp_hist.observe(dur)
+        dram = self._hierarchy.dram if self._hierarchy is not None else None
+        if dram is not None:
+            hits = dram.hits
+            misses = dram.misses
+            if hits != self._last_hits or misses != self._last_misses:
+                emit("cache", response.completed_at, 0.0, "dram", hits, misses)
+                self._last_hits = hits
+                self._last_misses = misses
+        self.registry.maybe_sample(response.completed_at)
+
+    def _on_crash(self, at: float, recovered_at: float) -> None:
+        self.tracer.emit("crash", at, recovered_at - at, "power-loss")
+        self._crashes.inc()
+        self.registry.force_sample(recovered_at)
+
+    def _device_event(self, kind: str, t0: float, dur: float, name: str) -> None:
+        """The device ``obs_sink``: spin/cleaning/erase episode spans."""
+        self.tracer.emit(kind, t0, dur, name)
+        counter = self._device_counters.get(kind)
+        if counter is not None:
+            counter.inc()
+
+    # -- instrument binding ------------------------------------------------------
+
+    def _bind_gauges(self, hierarchy: "StorageHierarchy") -> None:
+        """(Re)bind gauges to the live objects of ``hierarchy``.
+
+        Gauges from a previous run are unbound first so a sample can never
+        read a dead hierarchy's state.
+        """
+        from repro.obs.metrics import Gauge
+
+        for instrument in self.registry._instruments.values():
+            if isinstance(instrument, Gauge):
+                instrument.fn = None
+
+        registry = self.registry
+        device = hierarchy.device
+        registry.gauge(
+            "device_queue_s", "in-flight work queued on the device, seconds"
+        ).fn = lambda: max(0.0, device.busy_until - device.clock)
+
+        dram = hierarchy.dram
+        if dram is not None:
+            registry.gauge(
+                "dram_resident_blocks", "blocks resident in the DRAM cache"
+            ).fn = lambda: dram.resident_blocks
+            registry.gauge(
+                "dram_hit_rate", "DRAM cache hit rate so far"
+            ).fn = lambda: dram.hit_rate
+
+        sram = hierarchy.sram
+        if sram is not None:
+            registry.gauge(
+                "sram_occupancy_blocks", "dirty blocks buffered in SRAM"
+            ).fn = lambda: sram.dirty_count
+            registry.gauge(
+                "sram_occupancy", "SRAM write-buffer fill fraction"
+            ).fn = lambda: sram.occupancy
+
+        flash = getattr(device, "flash", device)
+        segments = getattr(flash, "segments", None)
+        if segments is not None:
+            registry.gauge(
+                "cleaning_backlog_segments",
+                "segments holding data (not erased), awaiting reclamation",
+            ).fn = lambda: len(flash.segments) - flash.erased_segment_count
+        sector_map = getattr(device, "sector_map", None)
+        if sector_map is not None:
+            registry.gauge(
+                "dirty_sectors", "flash-disk sectors awaiting background erase"
+            ).fn = lambda: sector_map.dirty_sectors
+
+        meter = hierarchy.reliability
+        if meter is not None:
+            for name, read in meter.live_counters().items():
+                registry.gauge(
+                    f"faults_{name}", f"reliability counter {name}"
+                ).fn = read
+
+    def _fill_wear_histogram(self, device) -> None:
+        flash = getattr(device, "flash", device)
+        segments = getattr(flash, "segments", None)
+        if segments is None:
+            return
+        observe = self._wear_hist.observe
+        for segment in segments:
+            observe(segment.erase_count)
+
+    # -- export ------------------------------------------------------------------
+
+    def layer_latency_s(self) -> dict[str, float]:
+        """The active (or most recent) run's per-layer latency sums."""
+        return dict(self._layer_sums)
+
+    def to_json_dict(self) -> dict[str, Any]:
+        """All finished runs' summaries, JSON-ready."""
+        return {
+            "runs": self.runs,
+            "trace_events_emitted": self.tracer.emitted,
+            "trace_events_dropped": self.tracer.dropped,
+        }

@@ -1,8 +1,11 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures, Hypothesis profiles, and golden-update plumbing."""
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.devices.specs import (
     CU140_DATASHEET,
@@ -13,6 +16,43 @@ from repro.devices.specs import (
 from repro.traces.record import Operation, TraceRecord
 from repro.traces.trace import Trace
 from repro.units import KB
+
+# Pinned Hypothesis profiles so local and CI runs are reproducible and
+# never flake on the shared-machine deadline heuristic.  "dev" keeps
+# random exploration (and shrinking) for local runs; "ci" derandomizes so
+# a CI failure is always reproducible from the log alone.  Select with
+# HYPOTHESIS_PROFILE=<name>; plain CI=1 environments get "ci" by default.
+settings.register_profile(
+    "dev",
+    deadline=None,
+    suppress_health_check=(HealthCheck.too_slow,),
+)
+settings.register_profile(
+    "ci",
+    deadline=2000,
+    derandomize=True,
+    suppress_health_check=(HealthCheck.too_slow,),
+)
+settings.load_profile(
+    os.environ.get(
+        "HYPOTHESIS_PROFILE", "ci" if os.environ.get("CI") else "dev"
+    )
+)
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden experiment-corpus fixtures instead of "
+        "comparing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_golden(request) -> bool:
+    return request.config.getoption("--update-golden")
 
 
 @pytest.fixture

@@ -275,3 +275,147 @@ def test_profile_command_writes_artifact(tmp_path, capsys):
 def test_profile_command_rejects_unknown_experiment(capsys):
     assert main(["profile", "not-an-experiment"]) == 2
     assert "unknown experiment" in capsys.readouterr().err
+
+
+# -- observability: repro trace / repro metrics / run artifacts ------------
+
+
+def test_trace_command_writes_valid_chrome_trace(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "t.json"
+    code = main(["trace", "exp_table3", "--scale", "0.05",
+                 "--trace-out", str(out)])
+    assert code == 0
+    stdout = capsys.readouterr().out
+    assert "agreement ok" in stdout
+    assert "MISMATCH" not in stdout
+    data = json.loads(out.read_text())  # round-trips json.loads
+    assert data["traceEvents"]
+    # Per-layer durations in the artifact agree with the reports to 1e-9
+    # (they are the collector's exact floats, so in fact bit-for-bit).
+    from repro.obs.events import read_chrome_layer_totals
+
+    per_run = read_chrome_layer_totals(out)
+    assert len(per_run) == 3  # one probe per device class
+    assert all(total > 0 for run in per_run for total in run.values())
+
+
+def test_trace_command_jsonl_sidecar(tmp_path, capsys):
+    out = tmp_path / "t.json"
+    side = tmp_path / "t.jsonl"
+    assert main(["trace", "fig2", "--scale", "0.03",
+                 "--trace-out", str(out), "--jsonl-out", str(side)]) == 0
+    from repro.obs.events import iter_jsonl
+
+    kinds = {record["kind"] for record in iter_jsonl(side)}
+    assert {"run", "request", "layer"} <= kinds
+
+
+def test_trace_command_unknown_experiment(tmp_path, capsys):
+    code = main(["trace", "nope", "--trace-out", str(tmp_path / "t.json")])
+    assert code == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_metrics_command_writes_json_and_prometheus(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "m.json"
+    prom = tmp_path / "m.prom"
+    code = main(["metrics", "table3", "--scale", "0.05",
+                 "--metrics-out", str(out), "--prom-out", str(prom)])
+    assert code == 0
+    data = json.loads(out.read_text())
+    assert len(data["runs"]) == 3
+    run = data["runs"][0]
+    assert run["agreement_max_abs_diff"] == 0.0
+    assert run["metrics"]["series"], "time-series must not be empty"
+    text = prom.read_text()
+    assert "# TYPE repro_ops_total counter" in text
+    assert "repro_response_time_s_bucket" in text
+
+
+def test_run_with_observability_artifacts(tmp_path, capsys):
+    import json
+
+    traces = tmp_path / "traces"
+    metrics = tmp_path / "metrics"
+    code = main(["run", "fig4", "--scale", "0.05", "--jobs", "1",
+                 "--cache-dir", str(tmp_path / "cache"),
+                 "--manifest", str(tmp_path / "m.jsonl"),
+                 "--trace-out", str(traces),
+                 "--metrics-out", str(metrics), "--quiet"])
+    assert code == 0
+    capsys.readouterr()
+    trace_files = list(traces.glob("*.trace.json"))
+    metric_files = list(metrics.glob("*.metrics.json"))
+    assert len(trace_files) == 1
+    assert len(metric_files) == 1
+    json.loads(trace_files[0].read_text())
+    json.loads(metric_files[0].read_text())
+    # The manifest references both artifacts on the unit record.
+    from repro.engine import read_manifest
+
+    unit = [r for r in read_manifest(tmp_path / "m.jsonl")
+            if r["record"] == "unit"][0]
+    assert unit["artifacts"] == {"trace": str(trace_files[0]),
+                                 "metrics": str(metric_files[0])}
+
+
+def test_run_observed_recomputes_instead_of_cache_replay(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["run", "fig4", "--scale", "0.05", "--jobs", "1",
+                 "--cache-dir", cache_dir, "--quiet"]) == 0
+    capsys.readouterr()
+    assert main(["run", "fig4", "--scale", "0.05", "--jobs", "1",
+                 "--cache-dir", cache_dir, "--quiet",
+                 "--trace-out", str(tmp_path / "traces")]) == 0
+    out = capsys.readouterr().out
+    assert "0 cache hit(s)" in out  # replay has nothing to record
+    assert (tmp_path / "traces").glob("*.trace.json")
+
+
+# -- repro inspect: report on stdout, diagnostics on stderr ----------------
+
+
+def test_inspect_healthy_run_keeps_stderr_empty(capsys):
+    assert main(["inspect", "table4", "--scale", "0.03"]) == 0
+    captured = capsys.readouterr()
+    assert "layer" in captured.out
+    assert captured.err == ""
+
+
+def test_inspect_routes_mismatch_diagnostics_to_stderr(capsys, monkeypatch):
+    from repro.experiments.base import ExperimentResult, Table
+
+    report = ExperimentResult(
+        experiment_id="inspect:table4",
+        title="Per-layer attribution",
+        tables=(Table(title="probe", headers=("layer",), rows=(("dram",),)),),
+        notes=("a note",),
+        diagnostics=(
+            "ATTRIBUTION MISMATCH: a probe's per-layer components do not "
+            "sum to its reported totals",
+            "probe x: latency 1.0 vs 2.0 (diff -1)",
+        ),
+    )
+    monkeypatch.setattr(
+        "repro.experiments.inspection.inspect_experiment",
+        lambda experiment_id, scale, seed: (report, False),
+    )
+    code = main(["inspect", "table4"])
+    assert code == 1
+    captured = capsys.readouterr()
+    # Report (tables, notes) on stdout; failure detail only on stderr.
+    assert "probe" in captured.out
+    assert "MISMATCH" not in captured.out
+    assert "ATTRIBUTION MISMATCH" in captured.err
+    assert "diff -1" in captured.err
+
+
+def test_inspect_unknown_experiment_exits_2(capsys):
+    assert main(["inspect", "not-an-experiment"]) == 2
+    captured = capsys.readouterr()
+    assert "unknown experiment" in captured.err
+    assert captured.out == ""

@@ -1,0 +1,102 @@
+"""Golden-corpus regression suite: every registered experiment, pinned.
+
+Each registered experiment is run at a tiny fixed scale/seed and its
+entire :class:`~repro.experiments.base.ExperimentResult` — titles,
+headers, notes, charts, and every table cell with floats as bit-exact
+hex — is compared against ``tests/golden/experiments/<id>.json``.
+
+Any behaviour change anywhere in the stack (device models, cache policy,
+cleaning, request path, renderers) shows up here as a precise cell-level
+diff.  After an *intentional*, reviewed change, re-baseline with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_experiments.py --update-golden
+
+and call the re-baseline out in the PR that does it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.registry import all_experiments
+from repro.experiments.runner import run_experiment
+from tests.golden.generate_equivalence_golden import hexify
+
+GOLDEN_DIR = Path(__file__).parent / "golden" / "experiments"
+
+#: Tiny but non-degenerate: large enough that simulations exercise
+#: spin-downs, SRAM drains, and cleaning; small enough that the whole
+#: corpus runs in a few seconds.
+SCALE = 0.02
+SEED = 3
+
+EXPERIMENT_IDS = sorted(all_experiments())
+
+
+def snapshot(experiment_id: str) -> dict:
+    """One experiment's full result, floats hexified for bit-exactness."""
+    result = run_experiment(experiment_id, scale=SCALE, seed=SEED)
+    return {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "scale": hexify(result.scale),
+        "notes": list(result.notes),
+        "charts": list(result.charts),
+        "tables": [
+            {
+                "title": table.title,
+                "headers": list(table.headers),
+                "rows": hexify([list(row) for row in table.rows]),
+            }
+            for table in result.tables
+        ],
+    }
+
+
+@pytest.mark.parametrize("experiment_id", EXPERIMENT_IDS)
+def test_experiment_matches_golden(experiment_id, update_golden):
+    path = GOLDEN_DIR / f"{experiment_id}.json"
+    actual = snapshot(experiment_id)
+    if update_golden:
+        GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(actual, indent=1, sort_keys=True) + "\n")
+        return
+    assert path.exists(), (
+        f"no golden fixture for {experiment_id!r}; generate it with "
+        f"--update-golden"
+    )
+    expected = json.loads(path.read_text())
+    assert actual == expected, (
+        f"{experiment_id} diverged from its golden fixture; if the change "
+        f"is intentional, re-baseline with "
+        f"`PYTHONPATH=src python -m pytest "
+        f"tests/test_golden_experiments.py --update-golden` "
+        f"and explain the re-baseline in the PR"
+    )
+
+
+def test_no_stale_golden_fixtures(update_golden):
+    """Every fixture file corresponds to a registered experiment."""
+    recorded = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    stale = recorded - set(EXPERIMENT_IDS)
+    if update_golden and stale:
+        for experiment_id in stale:
+            (GOLDEN_DIR / f"{experiment_id}.json").unlink()
+        return
+    assert not stale, (
+        f"golden fixtures for unregistered experiments: {sorted(stale)}; "
+        f"remove them (or run with --update-golden)"
+    )
+
+
+def test_corpus_covers_every_experiment():
+    """The parametrization above really is the whole registry."""
+    assert len(EXPERIMENT_IDS) >= 20
+    recorded = {path.stem for path in GOLDEN_DIR.glob("*.json")}
+    assert recorded == set(EXPERIMENT_IDS), (
+        "golden corpus out of sync with the registry; run with "
+        "--update-golden"
+    )

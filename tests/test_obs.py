@@ -1,0 +1,246 @@
+"""Unit tests for the observability primitives (tracer + registry)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.events import EventTracer, iter_jsonl, read_chrome_layer_totals
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    exponential_bounds,
+    sanitize_metric_name,
+)
+
+
+# -- EventTracer ---------------------------------------------------------------
+
+
+def test_tracer_records_events_in_order():
+    tracer = EventTracer(capacity=16)
+    tracer.emit("run", 0.0, 0.0, "t|d", 0.0)
+    tracer.emit("layer", 1.0, 0.5, "dram", 0.0, 0.25)
+    tracer.emit("layer", 1.0, 2.0, "device", 0.0, 1.0)
+    assert len(tracer) == 3
+    assert [event[0] for event in tracer.events()] == ["run", "layer", "layer"]
+    assert tracer.counts() == {"run": 1, "layer": 2}
+    assert tracer.layer_latency_totals() == {"dram": 0.5, "device": 2.0}
+
+
+def test_tracer_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        EventTracer(capacity=0)
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=64),
+    n=st.integers(min_value=0, max_value=300),
+)
+def test_ring_never_exceeds_bound(capacity, n):
+    """The buffer length can never exceed the configured capacity."""
+    tracer = EventTracer(capacity=capacity)
+    for index in range(n):
+        tracer.emit("request", float(index), 0.0, "read")
+        assert len(tracer) <= capacity
+    assert tracer.emitted == n
+    assert tracer.dropped == max(0, n - capacity)
+    assert len(tracer) == min(n, capacity)
+    # Oldest events are the ones evicted.
+    first = next(tracer.events(), None)
+    if first is not None:
+        assert first[1] == float(max(0, n - capacity))
+
+
+def test_rollback_discards_past_the_mark():
+    tracer = EventTracer()
+    tracer.emit("run", 0.0, 0.0, "t|d", 0.0)
+    mark = tracer.emitted
+    tracer.emit("layer", 0.0, 1.0, "dram")
+    tracer.emit("layer", 0.0, 2.0, "device")
+    removed = tracer.rollback(mark)
+    assert removed == 2
+    assert tracer.emitted == mark
+    assert tracer.counts() == {"run": 1}
+    # A second mark/rollback pair composes.
+    tracer.emit("layer", 0.0, 3.0, "sram")
+    tracer.rollback(mark)
+    assert tracer.counts() == {"run": 1}
+
+
+def test_layer_totals_scoped_to_a_run():
+    tracer = EventTracer()
+    tracer.emit("run", 0.0, 0.0, "a|d", 0.0)
+    tracer.emit("layer", 0.0, 1.0, "device")
+    tracer.emit("run", 0.0, 0.0, "b|d", 1.0)
+    tracer.emit("layer", 0.0, 4.0, "device")
+    assert tracer.layer_latency_totals(since_run=0) == {"device": 1.0}
+    assert tracer.layer_latency_totals(since_run=1) == {"device": 4.0}
+    assert tracer.layer_latency_totals() == {"device": 5.0}
+
+
+def test_jsonl_round_trip(tmp_path):
+    tracer = EventTracer()
+    tracer.emit("run", 0.0, 0.0, "mac|disk", 0.0)
+    tracer.emit("layer", 0.125, 0.25, "dram", 0.0, 0.5)
+    tracer.emit("cache", 0.125, 0.0, "dram", 3, 1)
+    tracer.emit("spin_up", 1.0, 2.5, "disk")
+    path = tracer.write_jsonl(tmp_path / "events.jsonl")
+    records = list(iter_jsonl(path))
+    assert [r["kind"] for r in records] == ["run", "layer", "cache", "spin_up"]
+    assert records[1] == {"kind": "layer", "t0_s": 0.125, "name": "dram",
+                          "latency_s": 0.25, "energy_j": 0.5}
+    assert records[2] == {"kind": "cache", "t0_s": 0.125, "name": "dram",
+                          "hits": 3, "misses": 1}
+    assert records[3]["dur_s"] == 2.5
+
+
+def test_chrome_export_round_trips_json(tmp_path):
+    tracer = EventTracer()
+    tracer.emit("run", 0.0, 0.0, "mac|disk", 0.0)
+    tracer.emit("request", 0.0, 1.5, "write")
+    tracer.emit("layer", 0.0, 1.0, "device", 0.0, 2.0)
+    tracer.emit("cleaning", 0.5, 0.25, "flash")
+    path = tracer.write_chrome(tmp_path / "trace.json")
+    data = json.loads(path.read_text())  # must parse cleanly
+    assert data["otherData"]["emitted"] == 4
+    events = data["traceEvents"]
+    spans = [e for e in events if e.get("ph") == "X"]
+    # One process track per run, µs timestamps, exact args.
+    assert all(e["pid"] == 1 for e in spans)
+    layer = next(e for e in spans if e["cat"] == "layer")
+    assert layer["name"] == "device"
+    assert layer["dur"] == 1.0 * 1e6
+    assert layer["args"] == {"latency_s": 1.0, "energy_j": 2.0}
+    device = next(e for e in spans if e["cat"] == "cleaning")
+    assert device["args"]["device"] == "flash"
+    assert read_chrome_layer_totals(path) == [{"device": 1.0}]
+
+
+# -- metrics instruments -------------------------------------------------------
+
+
+def test_counter_accumulates_and_rejects_negatives():
+    counter = Counter("ops_total")
+    counter.inc()
+    counter.inc(2.0)
+    assert counter.sample() == 3.0
+    with pytest.raises(ValueError):
+        counter.inc(-1.0)
+    counter.reset()
+    assert counter.sample() == 0.0
+
+
+def test_gauge_reads_bound_callable():
+    state = {"value": 5.0}
+    gauge = Gauge("queue", fn=lambda: state["value"])
+    assert gauge.sample() == 5.0
+    state["value"] = 7.0
+    assert gauge.sample() == 7.0
+    gauge.fn = None
+    gauge.set(1.5)
+    assert gauge.sample() == 1.5
+
+
+def test_histogram_buckets_and_sample():
+    hist = Histogram("resp", bounds=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.5, 3.0, 100.0):
+        hist.observe(value)
+    sample = hist.sample()
+    assert sample["count"] == 4
+    assert sample["sum"] == 105.0
+    assert sample["counts"] == [1, 1, 1, 1]  # <=1, <=2, <=4, +Inf
+
+
+def test_exponential_bounds():
+    bounds = exponential_bounds(1.0, 2.0, 4)
+    assert bounds == (1.0, 2.0, 4.0, 8.0)
+
+
+def test_sanitize_metric_name():
+    assert sanitize_metric_name("ok_name") == "ok_name"
+    assert sanitize_metric_name("bad-name.1") == "bad_name_1"
+
+
+# -- MetricsRegistry -----------------------------------------------------------
+
+
+def test_registry_dedupes_by_name_and_rejects_kind_change():
+    registry = MetricsRegistry()
+    counter = registry.counter("ops")
+    assert registry.counter("ops") is counter
+    with pytest.raises(ValueError):
+        registry.gauge("ops")
+
+
+def test_registry_samples_on_the_op_interval():
+    registry = MetricsRegistry(sample_interval_ops=4)
+    counter = registry.counter("ops")
+    taken = 0
+    for op in range(10):
+        counter.inc()
+        taken += registry.maybe_sample(float(op))
+    assert taken == 2  # after ops 4 and 8
+    series = registry.to_json_dict()["series"]
+    assert [row["t_s"] for row in series] == [3.0, 7.0]
+    assert [row["ops"] for row in series] == [4.0, 8.0]
+
+
+def test_registry_series_is_bounded():
+    registry = MetricsRegistry(sample_interval_ops=1, max_samples=3)
+    for op in range(10):
+        registry.maybe_sample(float(op))
+    data = registry.to_json_dict()
+    assert len(data["series"]) == 3
+    assert data["samples_dropped"] == 7
+    assert [row["t_s"] for row in data["series"]] == [7.0, 8.0, 9.0]
+
+
+def test_registry_reset_keeps_gauge_bindings():
+    registry = MetricsRegistry()
+    registry.counter("ops").inc(5)
+    registry.gauge("queue", fn=lambda: 2.0)
+    registry.force_sample(1.0)
+    registry.reset()
+    assert registry.to_json_dict()["series"] == []
+    assert registry.get("ops").sample() == 0.0
+    assert registry.get("queue").sample() == 2.0  # fn survives reset
+
+
+def test_registry_json_export(tmp_path):
+    registry = MetricsRegistry(sample_interval_ops=1)
+    registry.counter("ops", "operations").inc(3)
+    registry.force_sample(0.5)
+    path = registry.write_json(tmp_path / "metrics.json")
+    data = json.loads(path.read_text())
+    assert data["instruments"]["ops"]["kind"] == "counter"
+    assert data["series"][0]["ops"] == 3.0
+
+
+def test_prometheus_exposition_format(tmp_path):
+    registry = MetricsRegistry()
+    registry.counter("ops_total", "operations").inc(3)
+    registry.gauge("queue_s", "queue depth", fn=lambda: 0.5)
+    hist = registry.histogram("resp_s", (1.0, 2.0), "responses")
+    hist.observe(0.5)
+    hist.observe(1.5)
+    hist.observe(9.0)
+    text = registry.to_prometheus()
+    lines = text.splitlines()
+    assert "# HELP repro_ops_total operations" in lines
+    assert "# TYPE repro_ops_total counter" in lines
+    assert "repro_ops_total 3" in lines
+    assert "repro_queue_s 0.5" in lines
+    # Histogram buckets are cumulative and end with +Inf == _count.
+    assert 'repro_resp_s_bucket{le="1"} 1' in lines
+    assert 'repro_resp_s_bucket{le="2"} 2' in lines
+    assert 'repro_resp_s_bucket{le="+Inf"} 3' in lines
+    assert "repro_resp_s_count 3" in lines
+    assert "repro_resp_s_sum 11" in lines
+    path = registry.write_prometheus(tmp_path / "m.prom")
+    assert path.read_text() == text
