@@ -210,6 +210,27 @@ def _add_run(subparsers) -> None:
     parser.add_argument("--metrics-out", default=None, metavar="DIR",
                         help="sample each unit's metrics and write per-unit "
                         "JSON series into this directory")
+    parser.add_argument("--resume", default=None, metavar="MANIFEST",
+                        help="continue an interrupted run: replay the "
+                        "manifest's completed units from the result cache "
+                        "and re-execute only the remainder (the original "
+                        "run request is reconstructed from the manifest)")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-unit wall-clock timeout; an overdue "
+                        "worker is killed and the unit retried "
+                        "(default: none)")
+    parser.add_argument("--retries", type=int, default=1, metavar="N",
+                        help="transient failures (errors, timeouts) "
+                        "tolerated per unit before the failure is terminal "
+                        "(default 1; 0 restores fail-on-first)")
+    parser.add_argument("--max-rebuilds", type=int, default=2, metavar="K",
+                        help="consecutive worker-pool breakages tolerated "
+                        "before degrading to in-process serial execution "
+                        "(default 2)")
+    parser.add_argument("--chaos", default=None, metavar="PLAN",
+                        help="activate the chaos harness from a plan JSON "
+                        "(testing: kills/hangs/crashes workers and corrupts "
+                        "cache entries per the plan)")
 
 
 def _add_cache(subparsers) -> None:
@@ -424,32 +445,74 @@ def cmd_run(args) -> int:
     import time
 
     from repro.engine import (
+        ChaosPlan,
+        ExecutionPolicy,
         ResultCache,
         RunManifest,
         TraceStore,
         decompose,
         default_cache_dir,
         execute,
+        resume_spec,
         summarize,
     )
     from repro.errors import ConfigurationError
     from repro.experiments.registry import all_experiments, get_experiment
 
-    if args.all or not args.experiments:
-        experiment_ids = sorted(all_experiments())
-    else:
+    resumed_from = None
+    spec_cache_dir = None
+    if args.resume:
         try:
-            for experiment_id in args.experiments:
-                get_experiment(experiment_id)
-        except ConfigurationError as exc:
+            spec = resume_spec(args.resume)
+        except (OSError, ConfigurationError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        experiment_ids = args.experiments
+        if args.no_cache:
+            print("error: --resume replays completed units from the result "
+                  "cache; it cannot be combined with --no-cache",
+                  file=sys.stderr)
+            return 2
+        resumed_from = str(args.resume)
+        experiment_ids = spec["experiment_ids"]
+        scale = spec["scale"]
+        seeds = tuple(spec["seeds"])
+        spec_cache_dir = spec["cache_dir"]
+    else:
+        if args.all or not args.experiments:
+            experiment_ids = sorted(all_experiments())
+        else:
+            try:
+                for experiment_id in args.experiments:
+                    get_experiment(experiment_id)
+            except ConfigurationError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            experiment_ids = args.experiments
+        scale = args.scale
+        seeds = tuple(args.seed) if args.seed else (None,)
 
-    seeds = tuple(args.seed) if args.seed else (None,)
-    units = decompose(experiment_ids, scale=args.scale, seeds=seeds)
+    units = decompose(experiment_ids, scale=scale, seeds=seeds)
 
-    cache_root = args.cache_dir or default_cache_dir()
+    try:
+        policy = ExecutionPolicy(
+            timeout_s=args.timeout,
+            retries=args.retries,
+            max_rebuilds=args.max_rebuilds,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = ChaosPlan.load(args.chaos)
+        except (OSError, ValueError, KeyError, ConfigurationError) as exc:
+            print(f"error: bad chaos plan {args.chaos}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    cache_root = args.cache_dir or spec_cache_dir or default_cache_dir()
     cache = None if args.no_cache else ResultCache(cache_root)
     trace_store = None if args.no_cache else TraceStore(cache_root)
     manifest_path = args.manifest
@@ -497,6 +560,9 @@ def cmd_run(args) -> int:
                 progress=on_progress,
                 trace_dir=args.trace_out,
                 metrics_dir=args.metrics_out,
+                policy=policy,
+                chaos=chaos,
+                resumed_from=resumed_from,
             )
     finally:
         if output is not None:
@@ -504,9 +570,15 @@ def cmd_run(args) -> int:
     wall = time.perf_counter() - started
 
     counts = summarize(outcomes)
+    recovery = ""
+    if counts["retries"] or counts["requeued"]:
+        recovery = (f", {counts['retries']} retried, "
+                    f"{counts['requeued']} requeued")
     print(f"{counts['units']} unit(s): {counts['ok']} ok, "
           f"{counts['errors']} failed ({counts['hits']} cache hit(s), "
-          f"{counts['misses']} miss(es)) in {wall:.2f}s")
+          f"{counts['misses']} miss(es){recovery}) in {wall:.2f}s")
+    if resumed_from:
+        print(f"resumed from: {resumed_from}")
     print(f"manifest: {manifest_path}")
     for outcome in outcomes:
         if not outcome.ok:

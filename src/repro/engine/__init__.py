@@ -20,8 +20,10 @@ The CLI front end is ``python -m repro run`` (see ``repro run --help``)
 with cache management under ``python -m repro cache {stats,clear}``.
 """
 
+from repro.engine.chaos import ChaosAction, ChaosError, ChaosPlan
 from repro.engine.fingerprint import cache_key, device_fingerprint, package_version
-from repro.engine.manifest import RunManifest, read_manifest
+from repro.engine.manifest import RunManifest, read_manifest, resume_spec
+from repro.engine.resilience import ExecutionPolicy
 from repro.engine.result_cache import CacheStats, ResultCache, default_cache_dir
 from repro.engine.scheduler import (
     EngineError,
@@ -36,7 +38,11 @@ from repro.engine.unit import WorkUnit, decompose, freeze_kwargs
 
 __all__ = [
     "CacheStats",
+    "ChaosAction",
+    "ChaosError",
+    "ChaosPlan",
     "EngineError",
+    "ExecutionPolicy",
     "ResultCache",
     "RunManifest",
     "TraceStore",
@@ -51,6 +57,7 @@ __all__ = [
     "package_version",
     "raise_on_errors",
     "read_manifest",
+    "resume_spec",
     "run_unit_inline",
     "summarize",
 ]

@@ -1,0 +1,257 @@
+"""Seeded chaos harness: deliberately break the engine to prove recovery.
+
+A :class:`ChaosPlan` names which work units get disturbed and how:
+
+* ``kill``  — the worker running the unit exits hard (``os._exit``),
+  breaking the process pool exactly like an external SIGKILL/OOM;
+* ``hang``  — the worker sleeps past any reasonable per-unit timeout;
+* ``crash`` — the unit raises :class:`ChaosError` inside the worker
+  (an ordinary transient failure);
+* ``corrupt`` — the unit's freshly written result-cache entry is
+  truncated in the parent, mid-sweep, so a later read must quarantine it.
+
+Every disturbance is **one-shot per plan**: the first process to claim an
+action's marker file (``O_CREAT | O_EXCL`` in ``state_dir``) injects it;
+subsequent attempts of the same unit run clean.  That makes recovery
+deterministic — a retried unit succeeds, a resumed sweep completes — and
+marker files work across process boundaries, so it does not matter which
+worker draws the victim unit.
+
+Activation: the scheduler passes the plan to workers through the pool
+initializer; standalone processes can also point ``$REPRO_CHAOS_PLAN`` at
+a plan JSON.  ``kill``/``hang`` never fire in the parent process (the
+plan records the parent pid), so a degraded-to-serial sweep always
+finishes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.engine.unit import WorkUnit
+from repro.errors import ConfigurationError, ReproError
+
+#: Environment variable naming a plan JSON to activate in this process.
+CHAOS_PLAN_ENV = "REPRO_CHAOS_PLAN"
+
+MODES = ("kill", "hang", "crash", "corrupt")
+
+#: Exit status for chaos-killed workers (mirrors a SIGKILL'd process).
+KILL_EXIT_CODE = 137
+
+
+class ChaosError(ReproError):
+    """A failure injected by the chaos harness (transient by design)."""
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """Disturb one unit, ``times`` attempts in a row (usually once)."""
+
+    mode: str
+    experiment_id: str
+    seed: int | None = None
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ConfigurationError(
+                f"chaos mode must be one of {MODES}, got {self.mode!r}"
+            )
+        if self.times < 1:
+            raise ConfigurationError("times must be >= 1")
+
+    def matches(self, unit: WorkUnit) -> bool:
+        return (
+            self.experiment_id == unit.experiment_id
+            and self.seed == unit.seed
+        )
+
+    @property
+    def marker_stem(self) -> str:
+        return f"{self.mode}-{self.experiment_id}-seed{self.seed}"
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seeded, serialisable schedule of injected engine failures."""
+
+    seed: int
+    state_dir: str
+    actions: tuple[ChaosAction, ...] = ()
+    hang_s: float = 60.0
+    parent_pid: int | None = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def random(
+        cls,
+        units: Sequence[WorkUnit],
+        *,
+        seed: int,
+        state_dir: str | Path,
+        kills: int = 1,
+        hangs: int = 1,
+        crashes: int = 1,
+        corruptions: int = 1,
+        hang_s: float = 60.0,
+    ) -> "ChaosPlan":
+        """Draw distinct victim units for each mode from ``seed``."""
+        wanted = kills + hangs + crashes + corruptions
+        if wanted > len(units):
+            raise ConfigurationError(
+                f"plan wants {wanted} victims but only {len(units)} "
+                f"unit(s) were offered"
+            )
+        rng = random.Random(seed)
+        victims = rng.sample(list(units), wanted)
+        actions: list[ChaosAction] = []
+        cursor = 0
+        for mode, count in (("kill", kills), ("hang", hangs),
+                            ("crash", crashes), ("corrupt", corruptions)):
+            for unit in victims[cursor:cursor + count]:
+                actions.append(ChaosAction(
+                    mode=mode,
+                    experiment_id=unit.experiment_id,
+                    seed=unit.seed,
+                ))
+            cursor += count
+        return cls(
+            seed=seed,
+            state_dir=str(state_dir),
+            actions=tuple(actions),
+            hang_s=hang_s,
+        )
+
+    # -- (de)serialisation ---------------------------------------------------
+
+    def to_json_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "state_dir": self.state_dir,
+            "hang_s": self.hang_s,
+            "actions": [dataclasses.asdict(action) for action in self.actions],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "ChaosPlan":
+        return cls(
+            seed=payload["seed"],
+            state_dir=payload["state_dir"],
+            hang_s=payload.get("hang_s", 60.0),
+            actions=tuple(
+                ChaosAction(**action) for action in payload["actions"]
+            ),
+        )
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path).expanduser()
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_json_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ChaosPlan":
+        return cls.from_json_dict(json.loads(Path(path).expanduser().read_text()))
+
+    def bound_to_parent(self, pid: int | None = None) -> "ChaosPlan":
+        """A copy that knows the scheduler's pid (kill/hang never fire there)."""
+        return dataclasses.replace(
+            self, parent_pid=pid if pid is not None else os.getpid()
+        )
+
+    # -- one-shot claims -----------------------------------------------------
+
+    def claim(self, action: ChaosAction) -> bool:
+        """Atomically claim one injection slot for ``action``.
+
+        True exactly ``action.times`` times across *all* processes
+        sharing the plan's state dir; False forever after.
+        """
+        state = Path(self.state_dir)
+        state.mkdir(parents=True, exist_ok=True)
+        for slot in range(action.times):
+            marker = state / f"{action.marker_stem}.{slot}"
+            try:
+                os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                return True
+            except FileExistsError:
+                continue
+        return False
+
+    def actions_for(self, unit: WorkUnit, mode: str) -> list[ChaosAction]:
+        return [
+            action for action in self.actions
+            if action.mode == mode and action.matches(unit)
+        ]
+
+
+# -- process-local activation ----------------------------------------------
+
+_ACTIVE: ChaosPlan | None = None
+
+
+def set_active(plan: ChaosPlan | None) -> None:
+    """Install ``plan`` for this process (worker initializer hook)."""
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+def active() -> ChaosPlan | None:
+    """The active plan: explicitly installed, or named by the environment."""
+    if _ACTIVE is not None:
+        return _ACTIVE
+    path = os.environ.get(CHAOS_PLAN_ENV)
+    if path:
+        set_active(ChaosPlan.load(path))
+        return _ACTIVE
+    return None
+
+
+def maybe_inject(unit: WorkUnit) -> None:
+    """Worker-side hook: disturb ``unit`` if the active plan says so.
+
+    Called once per attempt, before the driver runs.  ``kill`` and
+    ``hang`` are skipped in the scheduler's own process so the serial
+    and degraded paths always complete; ``crash`` raises everywhere.
+    """
+    plan = active()
+    if plan is None:
+        return
+    in_parent = plan.parent_pid is not None and os.getpid() == plan.parent_pid
+    if not in_parent:
+        for action in plan.actions_for(unit, "kill"):
+            if plan.claim(action):
+                os._exit(KILL_EXIT_CODE)
+        for action in plan.actions_for(unit, "hang"):
+            if plan.claim(action):
+                time.sleep(plan.hang_s)
+    for action in plan.actions_for(unit, "crash"):
+        if plan.claim(action):
+            raise ChaosError(
+                f"injected crash for {unit.label} (chaos seed {plan.seed})"
+            )
+
+
+def corrupt_file(path: str | Path) -> bool:
+    """Truncate ``path`` to half its length — a torn write, mid-entry.
+
+    Deterministic and always detectable: a half JSON document fails to
+    parse, a half gzip stream hits EOF.  Returns False if the file is
+    missing (nothing to corrupt).
+    """
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError:
+        return False
+    path.write_bytes(data[: len(data) // 2])
+    return True

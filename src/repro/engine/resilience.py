@@ -1,0 +1,101 @@
+"""Execution policy: how the engine survives flaky units and workers.
+
+The scheduler treats three failure classes differently:
+
+* **Transient unit failures** — a worker-side exception or a per-unit
+  wall-clock timeout.  Retried up to ``retries`` times with the shared
+  exponential-backoff schedule (:class:`~repro.faults.retry.RetryPolicy`)
+  plus deterministic jitter; only after the budget is exhausted is the
+  failure recorded as terminal.
+* **Pool breakage** — a worker process dies (SIGKILL, OOM, segfault) and
+  poisons the whole ``ProcessPoolExecutor``.  The scheduler rebuilds the
+  pool and re-queues *only the units that were in flight*; a re-queue is
+  bookkeeping, not a retry, and does not consume the unit's budget.
+* **Repeated breakage** — after ``max_rebuilds`` consecutive pool
+  rebuilds the scheduler degrades gracefully to the in-process serial
+  path (which cannot break) instead of failing the sweep.
+
+Jitter is deterministic: the uniform variate for (unit key, attempt) is
+derived from a hash, so a re-run of the same sweep produces the same
+backoff schedule — no wall-clock or global RNG involved.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.faults.retry import RetryPolicy
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Resilience knobs for one :func:`~repro.engine.scheduler.execute` call.
+
+    Args:
+        timeout_s: per-unit wall-clock budget (workers only; the serial
+            path cannot preempt a running driver).  A unit past its
+            deadline has its worker pool killed and is retried or, once
+            its budget is exhausted, recorded as a terminal timeout.
+        retries: transient failures tolerated per unit before the
+            failure is terminal.
+        backoff_s: delay before the first retry.
+        backoff_multiplier: growth factor between consecutive delays.
+        jitter: randomised fraction of each delay (see
+            :meth:`RetryPolicy.jittered_backoff`).
+        max_rebuilds: consecutive pool breakages tolerated before the
+            scheduler degrades to in-process serial execution.
+        seed: mixed into the per-(unit, attempt) jitter hash.
+    """
+
+    timeout_s: float | None = None
+    retries: int = 0
+    backoff_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    jitter: float = 0.5
+    max_rebuilds: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigurationError(
+                f"timeout_s must be > 0, got {self.timeout_s}"
+            )
+        if self.max_rebuilds < 0:
+            raise ConfigurationError("max_rebuilds must be >= 0")
+        # RetryPolicy validates retries/backoff/multiplier/jitter.
+        self.retry_policy()
+
+    def retry_policy(self) -> RetryPolicy:
+        """The shared backoff schedule (same shape as the fault path's)."""
+        return RetryPolicy(
+            max_retries=self.retries,
+            backoff_s=self.backoff_s,
+            multiplier=self.backoff_multiplier,
+            jitter=self.jitter,
+        )
+
+    def delay_s(self, key: str, attempt: int) -> float:
+        """Jittered backoff before retry ``attempt`` of the unit ``key``.
+
+        Deterministic: the variate comes from a sha256 of
+        (policy seed, unit key, attempt), so identical sweeps retry on
+        identical schedules while distinct units stay decorrelated.
+        """
+        digest = hashlib.sha256(
+            f"{self.seed}:{key}:{attempt}".encode()
+        ).digest()
+        u = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return self.retry_policy().jittered_backoff(attempt, u)
+
+    def to_json_dict(self) -> dict:
+        """Manifest-ready summary of the policy (run-record provenance)."""
+        return {
+            "timeout_s": self.timeout_s,
+            "retries": self.retries,
+            "backoff_s": self.backoff_s,
+            "backoff_multiplier": self.backoff_multiplier,
+            "jitter": self.jitter,
+            "max_rebuilds": self.max_rebuilds,
+        }

@@ -6,17 +6,24 @@ registry fingerprint, and the package version, so any input change misses
 cleanly and stale entries are simply never read again.  JSON round-trips
 ``int``/``float``/``str`` cells exactly, which keeps reports rendered from
 cached results byte-identical to freshly computed ones.
+
+Integrity: writes are atomic *and durable* (tmp file, fsync, rename) and
+every entry embeds a sha256 of its result payload.  A read that finds a
+truncated, unparsable, or checksum-mismatched entry quarantines the file
+(moved to ``<root>/quarantine/``, preserved for forensics) and reports a
+miss — a torn cache write can cost a recompute, never a wrong replay.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import shutil
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro.experiments.base import ExperimentResult, Table
 
@@ -66,6 +73,12 @@ def result_from_dict(payload: dict[str, Any]) -> ExperimentResult:
     )
 
 
+def result_checksum(payload: dict[str, Any]) -> str:
+    """sha256 over the canonical JSON of a :func:`result_to_dict` payload."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
 @dataclass(frozen=True)
 class CacheStats:
     """Summary returned by ``repro cache stats``."""
@@ -74,6 +87,7 @@ class CacheStats:
     entries: int
     total_bytes: int
     experiments: dict[str, int]
+    quarantined: int = field(default=0)
 
     def render(self) -> str:
         lines = [
@@ -81,6 +95,8 @@ class CacheStats:
             f"entries      {self.entries}",
             f"size         {self.total_bytes / 1024:.1f} KB",
         ]
+        if self.quarantined:
+            lines.append(f"quarantined  {self.quarantined}")
         if self.experiments:
             lines.append("per experiment")
             for experiment_id, count in sorted(self.experiments.items()):
@@ -89,40 +105,89 @@ class CacheStats:
 
 
 class ResultCache:
-    """Persist experiment results keyed by content hash."""
+    """Persist experiment results keyed by content hash.
 
-    def __init__(self, root: str | Path | None = None) -> None:
+    ``on_quarantine(key, destination)`` is called whenever a corrupt
+    entry is moved aside; the engine wires it to a manifest event and a
+    metrics counter.  ``quarantined`` counts quarantines performed by
+    this instance.
+    """
+
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        on_quarantine: Callable[[str, Path], None] | None = None,
+    ) -> None:
         self.root = Path(root).expanduser() if root is not None else default_cache_dir()
+        self.on_quarantine = on_quarantine
+        self.quarantined = 0
 
     @property
     def results_dir(self) -> Path:
         return self.root / "results"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
     def _path(self, key: str) -> Path:
         return self.results_dir / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: Path, key: str) -> None:
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            destination = self.quarantine_dir / path.name
+            os.replace(path, destination)
+        except OSError:
+            return  # entry vanished (or unwritable root): nothing to keep
+        self.quarantined += 1
+        if self.on_quarantine is not None:
+            self.on_quarantine(key, destination)
+
     def get(self, key: str) -> ExperimentResult | None:
-        """The cached result for ``key``, or None on a miss (including
-        unreadable/corrupt entries, which behave as misses)."""
+        """The cached result for ``key``, or None on a miss.
+
+        A present-but-unreadable entry (truncated write, bit rot, bad
+        checksum) is a miss too: the bad file is moved to the quarantine
+        directory so it cannot poison later reads, and the caller simply
+        recomputes.
+        """
         path = self._path(key)
+        if not path.exists():
+            return None
         try:
             payload = json.loads(path.read_text())
-            return result_from_dict(payload["result"])
+            result_payload = payload["result"]
+            stored = payload.get("sha256")
+            if stored is not None and stored != result_checksum(result_payload):
+                raise ValueError(f"cache entry {key} fails its checksum")
+            return result_from_dict(result_payload)
         except (OSError, ValueError, KeyError, TypeError):
+            self._quarantine(path, key)
             return None
 
     def put(self, key: str, result: ExperimentResult, meta: dict[str, Any] | None = None) -> Path:
-        """Store ``result`` under ``key`` (atomic rename; last writer wins)."""
+        """Store ``result`` under ``key`` (tmp + fsync + atomic rename).
+
+        The fsync before the rename guarantees a crash can leave behind
+        only the old entry or the complete new one — never a truncated
+        file under the final name; the embedded checksum catches
+        anything else."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        result_payload = result_to_dict(result)
         payload = {
             "key": key,
             "created": time.time(),
             "meta": meta or {},
-            "result": result_to_dict(result),
+            "sha256": result_checksum(result_payload),
+            "result": result_payload,
         }
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
+        with open(tmp, "w") as stream:
+            stream.write(json.dumps(payload, sort_keys=True))
+            stream.flush()
+            os.fsync(stream.fileno())
         os.replace(tmp, path)
         return path
 
@@ -145,16 +210,23 @@ class ResultCache:
                 except (OSError, ValueError, KeyError, TypeError):
                     experiment_id = "<corrupt>"
                 experiments[experiment_id] = experiments.get(experiment_id, 0) + 1
+        quarantined = 0
+        if self.quarantine_dir.is_dir():
+            quarantined = sum(1 for _ in self.quarantine_dir.glob("*.json"))
         return CacheStats(
             root=self.root,
             entries=entries,
             total_bytes=total_bytes,
             experiments=experiments,
+            quarantined=quarantined,
         )
 
     def clear(self) -> int:
-        """Delete every cached result; returns how many were removed."""
+        """Delete every cached result (and the quarantine); returns how
+        many live entries were removed."""
         removed = self.stats().entries
         if self.results_dir.is_dir():
             shutil.rmtree(self.results_dir)
+        if self.quarantine_dir.is_dir():
+            shutil.rmtree(self.quarantine_dir)
         return removed

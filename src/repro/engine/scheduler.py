@@ -15,9 +15,20 @@ Design:
   order and process boundaries.
 * **jobs=1 runs in-process** — no pool, no pickling — and therefore
   produces reports byte-identical to the historical serial runner.
-* **Failures are contained.**  A unit that raises is recorded in the
-  manifest and reported in its outcome; completed units still land in the
-  cache, so the next invocation resumes instead of starting over.
+* **Failures are contained, and mostly survived.**  A transient unit
+  failure (worker exception, per-unit timeout) is retried on the
+  :class:`~repro.engine.resilience.ExecutionPolicy`'s backoff schedule;
+  a dead worker breaks only the units actually in flight, which are
+  re-queued onto a rebuilt pool; repeated breakage degrades the sweep to
+  the in-process serial path rather than failing it.  Terminal failures
+  are recorded in the manifest and reported in the unit's outcome;
+  completed units still land in the cache, so the next invocation (or
+  ``repro run --resume``) resumes instead of starting over.
+
+Units are submitted in a window of at most ``jobs`` at a time, so a
+submitted future is a *running* future: per-unit deadlines are
+meaningful, and a pool breakage can only ever implicate the in-flight
+window — queued units are simply handed to the next pool, unblemished.
 """
 
 from __future__ import annotations
@@ -25,12 +36,15 @@ from __future__ import annotations
 import os
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from repro.engine import chaos as chaos_mod
+from repro.engine.chaos import ChaosPlan
 from repro.engine.fingerprint import cache_key, device_fingerprint, package_version
 from repro.engine.manifest import RunManifest
+from repro.engine.resilience import ExecutionPolicy
 from repro.engine.result_cache import ResultCache
 from repro.engine.trace_store import TraceStore
 from repro.engine.unit import WorkUnit
@@ -62,10 +76,26 @@ class UnitOutcome:
     #: observability artifact paths ({"trace": ..., "metrics": ...}) when
     #: the run was recorded; None otherwise
     artifacts: dict[str, str] | None = None
+    #: transient failures retried before this outcome (0 = first try)
+    retries: int = 0
+    #: times the unit was re-queued after a pool breakage/timeout kill
+    requeued: int = 0
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+
+@dataclass
+class _Task:
+    """Mutable scheduling state for one pending unit."""
+
+    index: int
+    unit: WorkUnit
+    key: str
+    retries: int = 0
+    requeued: int = 0
+    not_before: float = field(default=0.0)  # monotonic clock
 
 
 def run_unit_inline(unit: WorkUnit) -> ExperimentResult:
@@ -110,6 +140,14 @@ def run_unit_observed(
     from repro.obs import ObservabilitySession
     from repro.obs import runtime as obs_runtime
 
+    # Artifact directories are created up front — normally already done
+    # once by the parent (see execute); exist_ok keeps direct callers and
+    # concurrent workers race-free.
+    if trace_dir is not None:
+        Path(trace_dir).mkdir(parents=True, exist_ok=True)
+    if metrics_dir is not None:
+        Path(metrics_dir).mkdir(parents=True, exist_ok=True)
+
     session = ObservabilitySession()
     with obs_runtime.observed(session):
         result = run_unit_inline(unit)
@@ -122,7 +160,6 @@ def run_unit_observed(
         artifacts["trace"] = str(path)
     if metrics_dir is not None:
         path = Path(metrics_dir) / f"{stem}.metrics.json"
-        path.parent.mkdir(parents=True, exist_ok=True)
         with open(path, "w") as stream:
             json.dump(session.to_json_dict(), stream)
         artifacts["metrics"] = str(path)
@@ -131,11 +168,17 @@ def run_unit_observed(
 
 # -- worker-process entry points (module-level for picklability) -----------
 
-def _worker_init(store_root: str | None) -> None:
+def _worker_init(store_root: str | None,
+                 chaos_plan: dict[str, Any] | None = None,
+                 chaos_parent_pid: int | None = None) -> None:
     if store_root is not None:
         from repro.experiments import traces_cache
 
         traces_cache.configure_trace_store(TraceStore(store_root))
+    if chaos_plan is not None:
+        chaos_mod.set_active(
+            ChaosPlan.from_json_dict(chaos_plan).bound_to_parent(chaos_parent_pid)
+        )
 
 
 def _worker_run(
@@ -145,6 +188,7 @@ def _worker_run(
 ) -> tuple[int, float, ExperimentResult | None, str | None, dict[str, str] | None]:
     start = time.perf_counter()
     try:
+        chaos_mod.maybe_inject(unit)  # may exit/hang/raise when active
         if trace_dir is not None or metrics_dir is not None:
             result, artifacts = run_unit_observed(unit, trace_dir, metrics_dir)
         else:
@@ -176,10 +220,24 @@ def execute(
     progress: ProgressCallback | None = None,
     trace_dir: str | None = None,
     metrics_dir: str | None = None,
+    policy: ExecutionPolicy | None = None,
+    metrics: Any | None = None,
+    chaos: ChaosPlan | None = None,
+    resumed_from: str | None = None,
 ) -> list[UnitOutcome]:
     """Run every unit; returns one :class:`UnitOutcome` per unit, in the
     input order.  Never raises for a unit failure — inspect ``.error``
     (or use :func:`raise_on_errors`).
+
+    ``policy`` configures resilience (per-unit timeouts, retry budget,
+    pool-rebuild ladder); the default retries nothing but still survives
+    pool breakage by re-queueing and, past ``max_rebuilds`` consecutive
+    breakages, degrading to the serial path.  ``metrics`` (a
+    :class:`~repro.obs.metrics.MetricsRegistry`, or the active
+    observability session's registry when omitted) receives
+    ``engine_*_total`` counters for every recovery event; the same events
+    land in the manifest as ``event`` records.  ``chaos`` activates the
+    fault-injection harness of :mod:`repro.engine.chaos` in the workers.
 
     ``trace_dir``/``metrics_dir`` turn on per-unit observability: every
     unit recomputes under an ObservabilitySession (cache reads are
@@ -190,11 +248,34 @@ def execute(
     jobs = jobs if jobs is not None else (os.cpu_count() or 1)
     if jobs < 1:
         raise EngineError(f"jobs must be >= 1, got {jobs}")
+    policy = policy if policy is not None else ExecutionPolicy()
+    if chaos is not None:
+        chaos = chaos.bound_to_parent()
+    # Artifact directories are created once, in the parent, before any
+    # worker can race to create them.
+    if trace_dir is not None:
+        os.makedirs(trace_dir, exist_ok=True)
+    if metrics_dir is not None:
+        os.makedirs(metrics_dir, exist_ok=True)
+    if metrics is None:
+        from repro.obs import runtime as obs_runtime
+
+        session = obs_runtime.active()
+        metrics = session.registry if session is not None else None
+
     fingerprint = device_fingerprint()
     version = package_version()
     total = len(units)
     done = 0
     outcomes: dict[int, UnitOutcome] = {}
+
+    def count(name: str) -> None:
+        if metrics is not None:
+            metrics.counter(name).inc()
+
+    def event(kind: str, **fields: Any) -> None:
+        if manifest is not None:
+            manifest.record_event(kind, **fields)
 
     if manifest is not None:
         manifest.record_run(
@@ -206,6 +287,11 @@ def execute(
             fingerprint=fingerprint,
             version=version,
             cache_dir=str(cache.root) if cache is not None else None,
+            experiment_ids=list(dict.fromkeys(
+                unit.experiment_id for unit in units
+            )),
+            policy=policy.to_json_dict(),
+            resumed_from=resumed_from,
         )
 
     def finish(index: int, outcome: UnitOutcome) -> None:
@@ -222,97 +308,325 @@ def execute(
                 outcome="ok" if outcome.ok else "error",
                 error=outcome.error,
                 artifacts=outcome.artifacts,
+                retries=outcome.retries,
+                requeued=outcome.requeued,
             )
         if progress is not None:
             progress(done, total, outcome)
 
     observing = trace_dir is not None or metrics_dir is not None
 
-    # Resolve cache hits in the parent before spawning anything.  An
-    # observed run recomputes everything: a replayed result has no events
-    # to record, and observation is bit-neutral so the recompute is safe.
-    pending: list[tuple[int, WorkUnit, str]] = []
-    for index, unit in enumerate(units):
-        key = cache_key(unit, fingerprint=fingerprint, version=version)
-        cached = (
-            cache.get(key) if cache is not None and not observing else None
-        )
-        if cached is not None:
-            finish(index, UnitOutcome(
-                unit=unit, key=key, result=cached, cache="hit",
-                worker=os.getpid(), wall_s=0.0,
+    # Corrupt-entry quarantines surface through the manifest/metrics
+    # unless the caller already listens for them.
+    restore_quarantine_hook = False
+    if cache is not None and cache.on_quarantine is None:
+        def _on_quarantine(key: str, destination: Any) -> None:
+            event("quarantine", key=key, path=str(destination))
+            count("engine_cache_quarantines_total")
+
+        cache.on_quarantine = _on_quarantine
+        restore_quarantine_hook = True
+
+    try:
+        # Resolve cache hits in the parent before spawning anything.  An
+        # observed run recomputes everything: a replayed result has no
+        # events to record, and observation is bit-neutral so the
+        # recompute is safe.
+        pending: list[_Task] = []
+        for index, unit in enumerate(units):
+            key = cache_key(unit, fingerprint=fingerprint, version=version)
+            cached = (
+                cache.get(key) if cache is not None and not observing else None
+            )
+            if cached is not None:
+                finish(index, UnitOutcome(
+                    unit=unit, key=key, result=cached, cache="hit",
+                    worker=os.getpid(), wall_s=0.0,
+                ))
+            else:
+                pending.append(_Task(index=index, unit=unit, key=key))
+
+        if pending and trace_store is not None:
+            for scale, seed in sorted(
+                _distinct_trace_requests([task.unit for task in pending])
+            ):
+                trace_store.prewarm(STANDARD_TRACES, scale, seed)
+
+        cache_state = "miss" if cache is not None else "off"
+
+        def record_miss(task: _Task, worker: int, wall_s: float,
+                        result: ExperimentResult | None, error: str | None,
+                        artifacts: dict[str, str] | None = None) -> None:
+            if result is not None and cache is not None:
+                path = cache.put(task.key, result, meta={
+                    "experiment_id": task.unit.experiment_id,
+                    "scale": task.unit.scale,
+                    "seed": task.unit.seed,
+                    "fingerprint": fingerprint,
+                    "version": version,
+                })
+                if chaos is not None:
+                    for action in chaos.actions_for(task.unit, "corrupt"):
+                        if chaos.claim(action):
+                            chaos_mod.corrupt_file(path)
+                            event("chaos-corrupt", unit=task.unit.label,
+                                  key=task.key, path=str(path))
+                            count("engine_chaos_corruptions_total")
+            finish(task.index, UnitOutcome(
+                unit=task.unit, key=task.key, result=result, cache=cache_state,
+                worker=worker, wall_s=wall_s, error=error, artifacts=artifacts,
+                retries=task.retries, requeued=task.requeued,
             ))
+
+        def run_serially(task: _Task) -> None:
+            """In-process execution with the policy's retry schedule.
+
+            Used by ``jobs=1`` and by the degraded path.  Wall-clock
+            timeouts need process isolation and do not apply here."""
+            while True:
+                start = time.perf_counter()
+                artifacts = None
+                try:
+                    if observing:
+                        result, artifacts = run_unit_observed(
+                            task.unit, trace_dir, metrics_dir
+                        )
+                    else:
+                        result = run_unit_inline(task.unit)
+                    error = None
+                except Exception:
+                    result = None
+                    error = traceback.format_exc()
+                wall_s = time.perf_counter() - start
+                if error is not None and task.retries < policy.retries:
+                    delay = policy.delay_s(task.key, task.retries)
+                    task.retries += 1
+                    event("retry", unit=task.unit.label, reason="error",
+                          attempt=task.retries, delay_s=delay)
+                    count("engine_unit_retries_total")
+                    time.sleep(delay)
+                    continue
+                record_miss(task, os.getpid(), wall_s, result, error, artifacts)
+                return
+
+        if jobs == 1 or not pending:
+            # In-process serial path: byte-identical to the historical
+            # runner (the retry loop only re-enters on failure).
+            for task in pending:
+                run_serially(task)
         else:
-            pending.append((index, unit, key))
-
-    if pending and trace_store is not None:
-        for scale, seed in sorted(_distinct_trace_requests([u for _, u, _ in pending])):
-            trace_store.prewarm(STANDARD_TRACES, scale, seed)
-
-    cache_state = "miss" if cache is not None else "off"
-
-    def record_miss(index: int, unit: WorkUnit, key: str, worker: int,
-                    wall_s: float, result: ExperimentResult | None,
-                    error: str | None,
-                    artifacts: dict[str, str] | None = None) -> None:
-        if result is not None and cache is not None:
-            cache.put(key, result, meta={
-                "experiment_id": unit.experiment_id,
-                "scale": unit.scale,
-                "seed": unit.seed,
-                "fingerprint": fingerprint,
-                "version": version,
-            })
-        finish(index, UnitOutcome(
-            unit=unit, key=key, result=result, cache=cache_state,
-            worker=worker, wall_s=wall_s, error=error, artifacts=artifacts,
-        ))
-
-    if jobs == 1:
-        # In-process serial path: byte-identical to the historical runner.
-        for index, unit, key in pending:
-            start = time.perf_counter()
-            artifacts = None
-            try:
-                if observing:
-                    result, artifacts = run_unit_observed(
-                        unit, trace_dir, metrics_dir
-                    )
-                else:
-                    result = run_unit_inline(unit)
-                error = None
-            except Exception:
-                result = None
-                error = traceback.format_exc()
-            record_miss(index, unit, key, os.getpid(),
-                        time.perf_counter() - start, result, error, artifacts)
-    elif pending:
-        store_root = str(trace_store.root) if trace_store is not None else None
-        with ProcessPoolExecutor(
-            max_workers=min(jobs, len(pending)),
-            initializer=_worker_init,
-            initargs=(store_root,),
-        ) as pool:
-            futures = {
-                pool.submit(_worker_run, unit, trace_dir, metrics_dir):
-                    (index, unit, key)
-                for index, unit, key in pending
-            }
-            remaining = set(futures)
-            while remaining:
-                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
-                for future in finished:
-                    index, unit, key = futures[future]
-                    try:
-                        worker, wall_s, result, error, artifacts = future.result()
-                    except Exception:  # pool breakage (e.g. worker killed)
-                        worker, wall_s, result = os.getpid(), 0.0, None
-                        error = traceback.format_exc()
-                        artifacts = None
-                    record_miss(index, unit, key, worker, wall_s, result,
-                                error, artifacts)
+            _execute_pool(
+                pending, jobs=jobs, policy=policy, chaos=chaos,
+                trace_store=trace_store, trace_dir=trace_dir,
+                metrics_dir=metrics_dir, record_miss=record_miss,
+                run_serially=run_serially, event=event, count=count,
+            )
+    finally:
+        if restore_quarantine_hook and cache is not None:
+            cache.on_quarantine = None
 
     return [outcomes[index] for index in range(total)]
+
+
+def _execute_pool(
+    pending: list[_Task],
+    *,
+    jobs: int,
+    policy: ExecutionPolicy,
+    chaos: ChaosPlan | None,
+    trace_store: TraceStore | None,
+    trace_dir: str | None,
+    metrics_dir: str | None,
+    record_miss: Callable[..., None],
+    run_serially: Callable[[_Task], None],
+    event: Callable[..., None],
+    count: Callable[[str], None],
+) -> None:
+    """Fan ``pending`` over a process pool, surviving hangs and breakage."""
+    store_root = str(trace_store.root) if trace_store is not None else None
+    max_workers = min(jobs, len(pending))
+    chaos_payload = chaos.to_json_dict() if chaos is not None else None
+    chaos_parent = chaos.parent_pid if chaos is not None else None
+
+    def new_pool() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_worker_init,
+            initargs=(store_root, chaos_payload, chaos_parent),
+        )
+
+    queue: list[_Task] = list(pending)
+    in_flight: dict[Future, _Task] = {}
+    deadlines: dict[Future, float] = {}
+    pool = new_pool()
+    breakages = 0
+    degraded = False
+
+    def dead_worker_pids() -> list[int]:
+        processes = getattr(pool, "_processes", None) or {}
+        return sorted(
+            p.pid for p in processes.values()
+            if p.exitcode not in (None, 0) and p.pid is not None
+        )
+
+    def requeue_in_flight(reason: str, dead: list[int]) -> None:
+        victims = sorted(in_flight.values(), key=lambda t: t.index)
+        for future in in_flight:
+            future.cancel()
+        for task in victims:
+            task.requeued += 1
+            queue.append(task)
+            count("engine_unit_requeues_total")
+        queue.sort(key=lambda t: t.index)
+        in_flight.clear()
+        deadlines.clear()
+        if victims:
+            event("requeue", reason=reason,
+                  units=[task.unit.label for task in victims],
+                  dead_workers=dead)
+
+    def teardown_pool(kill: bool) -> None:
+        if kill:
+            processes = getattr(pool, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def fill() -> bool:
+        """Top the window up; False if the pool turned out to be broken."""
+        now = time.monotonic()
+        while queue and len(in_flight) < max_workers:
+            eligible = next(
+                (i for i, task in enumerate(queue) if task.not_before <= now),
+                None,
+            )
+            if eligible is None:
+                return True
+            task = queue.pop(eligible)
+            try:
+                future = pool.submit(_worker_run, task.unit,
+                                     trace_dir, metrics_dir)
+            except Exception:  # BrokenExecutor: pool died between windows
+                queue.append(task)
+                queue.sort(key=lambda t: t.index)
+                return False
+            in_flight[future] = task
+            if policy.timeout_s is not None:
+                deadlines[future] = time.monotonic() + policy.timeout_s
+        return True
+
+    def handle_breakage() -> None:
+        nonlocal pool, breakages, degraded
+        dead = dead_worker_pids()
+        requeue_in_flight("pool-breakage", dead)
+        teardown_pool(kill=False)
+        breakages += 1
+        count("engine_pool_rebuilds_total")
+        if breakages > policy.max_rebuilds:
+            degraded = True
+            event("degrade", after_rebuilds=breakages - 1, dead_workers=dead)
+            count("engine_pool_degradations_total")
+        else:
+            pool = new_pool()
+            event("rebuild", consecutive=breakages, dead_workers=dead)
+
+    while (queue or in_flight) and not degraded:
+        if not fill():
+            handle_breakage()
+            continue
+        if not in_flight:
+            # Everything schedulable is waiting out a backoff.
+            wake = min(task.not_before for task in queue)
+            time.sleep(max(0.0, wake - time.monotonic()))
+            continue
+
+        wait_until = min(deadlines.values()) if deadlines else None
+        if queue:
+            backoff_wake = min(task.not_before for task in queue)
+            if backoff_wake > time.monotonic() and len(in_flight) < max_workers:
+                wait_until = (
+                    backoff_wake if wait_until is None
+                    else min(wait_until, backoff_wake)
+                )
+        timeout = (
+            None if wait_until is None
+            else max(0.0, wait_until - time.monotonic())
+        )
+        finished, _ = wait(set(in_flight), timeout=timeout,
+                           return_when=FIRST_COMPLETED)
+
+        broken = False
+        for future in finished:
+            task = in_flight[future]
+            try:
+                worker, wall_s, result, error, artifacts = future.result()
+            except Exception:
+                # The pool broke under this future (worker killed).  The
+                # task is requeued with the rest of the window below —
+                # its outcome is never an inherited parent traceback.
+                broken = True
+                continue
+            del in_flight[future]
+            deadlines.pop(future, None)
+            breakages = 0
+            if error is not None and task.retries < policy.retries:
+                delay = policy.delay_s(task.key, task.retries)
+                task.retries += 1
+                task.not_before = time.monotonic() + delay
+                event("retry", unit=task.unit.label, reason="error",
+                      attempt=task.retries, delay_s=delay, worker=worker)
+                count("engine_unit_retries_total")
+                queue.append(task)
+                queue.sort(key=lambda t: t.index)
+            else:
+                record_miss(task, worker, wall_s, result, error, artifacts)
+
+        if broken:
+            handle_breakage()
+            continue
+
+        if deadlines:
+            now = time.monotonic()
+            expired = [f for f, deadline in deadlines.items() if deadline <= now]
+            if expired:
+                # A hung worker cannot be cancelled — kill the pool,
+                # salvage the rest of the window, and retry (or fail)
+                # the overdue units.
+                for future in expired:
+                    task = in_flight.pop(future)
+                    deadlines.pop(future, None)
+                    count("engine_unit_timeouts_total")
+                    if task.retries < policy.retries:
+                        delay = policy.delay_s(task.key, task.retries)
+                        task.retries += 1
+                        task.not_before = now + delay
+                        event("retry", unit=task.unit.label, reason="timeout",
+                              attempt=task.retries, delay_s=delay)
+                        count("engine_unit_retries_total")
+                        queue.append(task)
+                        queue.sort(key=lambda t: t.index)
+                    else:
+                        record_miss(
+                            task, -1, policy.timeout_s, None,
+                            f"unit exceeded its {policy.timeout_s:g}s "
+                            f"wall-clock timeout (worker pool killed); "
+                            f"retries exhausted ({task.retries})",
+                            None,
+                        )
+                requeue_in_flight("timeout-kill", [])
+                teardown_pool(kill=True)
+                pool = new_pool()
+
+    if degraded:
+        # The pool kept dying; finish the sweep where nothing can break.
+        for task in sorted(queue, key=lambda t: t.index):
+            run_serially(task)
+        return
+
+    pool.shutdown(wait=True)
 
 
 def raise_on_errors(outcomes: Sequence[UnitOutcome]) -> None:
@@ -336,4 +650,6 @@ def summarize(outcomes: Sequence[UnitOutcome]) -> dict[str, Any]:
         "hits": sum(outcome.cache == "hit" for outcome in outcomes),
         "misses": sum(outcome.cache == "miss" for outcome in outcomes),
         "wall_s": sum(outcome.wall_s for outcome in outcomes),
+        "retries": sum(outcome.retries for outcome in outcomes),
+        "requeued": sum(outcome.requeued for outcome in outcomes),
     }

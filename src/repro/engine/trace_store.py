@@ -33,22 +33,48 @@ class TraceStore:
     def path_for(self, name: str, scale: float, seed: int) -> Path:
         return self.root / "traces" / f"{name}-s{scale:g}-r{seed}.pkl.gz"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.quarantine_dir / path.name)
+        except OSError:
+            pass  # vanished concurrently; the miss alone is enough
+
     def load(self, name: str, scale: float, seed: int) -> Trace | None:
-        """The stored trace, or None if absent/unreadable (treat as miss)."""
+        """The stored trace, or None if absent or unreadable.
+
+        A truncated or corrupt gzip-pickle (torn write, bit rot) is a
+        miss that *quarantines* the bad file — the next writer then
+        regenerates a clean entry instead of every reader tripping over
+        the same bytes forever."""
         path = self.path_for(name, scale, seed)
+        if not path.exists():
+            return None
         try:
             with gzip.open(path, "rb") as stream:
                 trace = pickle.load(stream)
-        except (OSError, EOFError, pickle.UnpicklingError):
+        except (OSError, EOFError, pickle.UnpicklingError,
+                AttributeError, ImportError, IndexError):
+            self._quarantine(path)
             return None
-        return trace if isinstance(trace, Trace) else None
+        if not isinstance(trace, Trace):
+            self._quarantine(path)
+            return None
+        return trace
 
     def save(self, trace: Trace, name: str, scale: float, seed: int) -> Path:
+        """Write-through store (tmp + fsync + atomic rename)."""
         path = self.path_for(name, scale, seed)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         with gzip.open(tmp, "wb") as stream:
             pickle.dump(trace, stream, protocol=pickle.HIGHEST_PROTOCOL)
+            stream.flush()
+            os.fsync(stream.fileno())
         os.replace(tmp, path)
         return path
 

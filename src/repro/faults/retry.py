@@ -20,6 +20,11 @@ class RetryPolicy:
             declared unrecoverable.
         backoff_s: delay before the first retry.
         multiplier: growth factor between consecutive delays.
+        jitter: fraction of each delay that is randomised; a jittered
+            delay lies in ``[backoff * (1 - jitter), backoff]``.  The
+            device fault path keeps the default 0 (its delays are part
+            of the simulated response times and must be exact); the
+            execution engine uses jitter to decorrelate retries.
     """
 
     def __init__(
@@ -27,6 +32,7 @@ class RetryPolicy:
         max_retries: int = 3,
         backoff_s: float = 0.002,
         multiplier: float = 2.0,
+        jitter: float = 0.0,
     ) -> None:
         if max_retries < 0:
             raise ConfigurationError("max_retries must be >= 0")
@@ -34,15 +40,30 @@ class RetryPolicy:
             raise ConfigurationError("backoff_s must be >= 0")
         if multiplier < 1.0:
             raise ConfigurationError("multiplier must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ConfigurationError("jitter must be in [0, 1]")
         self.max_retries = max_retries
         self.backoff_s = backoff_s
         self.multiplier = multiplier
+        self.jitter = jitter
 
     def backoff(self, attempt: int) -> float:
         """Delay (seconds) before retry number ``attempt`` (0-based)."""
         if attempt < 0:
             raise ConfigurationError(f"attempt must be >= 0, got {attempt}")
         return self.backoff_s * self.multiplier**attempt
+
+    def jittered_backoff(self, attempt: int, u: float) -> float:
+        """The attempt's delay with jitter applied from ``u`` in [0, 1).
+
+        The caller supplies the uniform variate so schedules stay
+        deterministic — the engine derives ``u`` from a hash of the unit
+        key and attempt number.
+        """
+        if not 0.0 <= u <= 1.0:
+            raise ConfigurationError(f"u must be in [0, 1], got {u}")
+        base = self.backoff(attempt)
+        return base * (1.0 - self.jitter * (1.0 - u))
 
     def total_backoff(self, retries: int) -> float:
         """Summed delay across the first ``retries`` retries."""
