@@ -11,6 +11,8 @@ Commands:
 * ``trace``     — record an event trace of an experiment's probes
 * ``metrics``   — sample a metrics time-series over an experiment's probes
 * ``run``       — parallel, cache-aware experiment runs via the engine
+* ``fleet``     — simulate a fleet-scale population of heterogeneous devices
+* ``serve``     — async HTTP job service (submit runs/fleets, stream events)
 * ``cache``     — manage the on-disk result cache (stats, clear)
 * ``faults``    — simulate under an injected-fault plan and report reliability
 * ``devices``   — list registered device parameter sets
@@ -24,6 +26,13 @@ import os
 import sys
 
 from repro.units import KB, MB
+
+
+def _jobs_arg(text: str) -> int:
+    """Argparse type for ``--jobs`` (a positive integer or ``auto``)."""
+    from repro.engine.jobs import jobs_arg
+
+    return jobs_arg(text)
 
 
 def _add_simulate(subparsers) -> None:
@@ -186,9 +195,10 @@ def _add_run(subparsers) -> None:
                         metavar="SEED",
                         help="trace-generation seed; repeat for a seed sweep "
                         "(default: module default)")
-    parser.add_argument("--jobs", type=int, default=None, metavar="N",
-                        help="worker processes (default: all CPUs; 1 = "
-                        "in-process, byte-identical to the serial runner)")
+    parser.add_argument("--jobs", type=_jobs_arg, default=None, metavar="N",
+                        help="worker processes: a count or 'auto' = CPUs-1 "
+                        "(default auto; 1 = in-process, byte-identical to "
+                        "the serial runner)")
     parser.add_argument("--cache-dir", default=None,
                         help="result-cache root (default: $REPRO_CACHE_DIR "
                         "or ~/.cache/repro)")
@@ -231,6 +241,18 @@ def _add_run(subparsers) -> None:
                         help="activate the chaos harness from a plan JSON "
                         "(testing: kills/hangs/crashes workers and corrupts "
                         "cache entries per the plan)")
+
+
+def _add_fleet(subparsers) -> None:
+    from repro.fleet.cli import add_parser
+
+    add_parser(subparsers)
+
+
+def _add_serve(subparsers) -> None:
+    from repro.serve.cli import add_parser
+
+    add_parser(subparsers)
 
 
 def _add_cache(subparsers) -> None:
@@ -284,6 +306,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_trace(subparsers)
     _add_metrics(subparsers)
     _add_run(subparsers)
+    _add_fleet(subparsers)
+    _add_serve(subparsers)
     _add_cache(subparsers)
     _add_faults(subparsers)
     subparsers.add_parser("devices", help="list device parameter sets")
@@ -447,9 +471,11 @@ def cmd_run(args) -> int:
     from repro.engine import (
         ChaosPlan,
         ExecutionPolicy,
+        INTERRUPT_EXIT_CODE,
         ResultCache,
         RunManifest,
         TraceStore,
+        cancel_on_signals,
         decompose,
         default_cache_dir,
         execute,
@@ -550,20 +576,22 @@ def cmd_run(args) -> int:
 
     started = time.perf_counter()
     try:
-        with RunManifest(manifest_path) as manifest:
-            outcomes = execute(
-                units,
-                jobs=args.jobs,
-                cache=cache,
-                trace_store=trace_store,
-                manifest=manifest,
-                progress=on_progress,
-                trace_dir=args.trace_out,
-                metrics_dir=args.metrics_out,
-                policy=policy,
-                chaos=chaos,
-                resumed_from=resumed_from,
-            )
+        with cancel_on_signals() as cancel:
+            with RunManifest(manifest_path) as manifest:
+                outcomes = execute(
+                    units,
+                    jobs=args.jobs,
+                    cache=cache,
+                    trace_store=trace_store,
+                    manifest=manifest,
+                    progress=on_progress,
+                    trace_dir=args.trace_out,
+                    metrics_dir=args.metrics_out,
+                    policy=policy,
+                    chaos=chaos,
+                    resumed_from=resumed_from,
+                    cancel=cancel,
+                )
     finally:
         if output is not None:
             output.close()
@@ -580,11 +608,28 @@ def cmd_run(args) -> int:
     if resumed_from:
         print(f"resumed from: {resumed_from}")
     print(f"manifest: {manifest_path}")
+    if counts["cancelled"]:
+        print(f"interrupted: {counts['cancelled']} unit(s) not run; "
+              f"resume with: repro run --resume {manifest_path}",
+              file=sys.stderr)
+        return INTERRUPT_EXIT_CODE
     for outcome in outcomes:
         if not outcome.ok:
             print(f"\nFAILED {outcome.unit.label}:\n{outcome.error}",
                   file=sys.stderr)
     return 0 if counts["errors"] == 0 else 1
+
+
+def cmd_fleet(args) -> int:
+    from repro.fleet.cli import cmd_fleet as run_fleet_cmd
+
+    return run_fleet_cmd(args)
+
+
+def cmd_serve(args) -> int:
+    from repro.serve.cli import cmd_serve as run_serve_cmd
+
+    return run_serve_cmd(args)
 
 
 def cmd_cache(args) -> int:
@@ -690,6 +735,8 @@ _COMMANDS = {
     "trace": cmd_trace,
     "metrics": cmd_metrics,
     "run": cmd_run,
+    "fleet": cmd_fleet,
+    "serve": cmd_serve,
     "cache": cmd_cache,
     "faults": cmd_faults,
     "devices": cmd_devices,

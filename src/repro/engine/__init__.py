@@ -22,10 +22,13 @@ with cache management under ``python -m repro cache {stats,clear}``.
 
 from repro.engine.chaos import ChaosAction, ChaosError, ChaosPlan
 from repro.engine.fingerprint import cache_key, device_fingerprint, package_version
+from repro.engine.interrupt import INTERRUPT_EXIT_CODE, cancel_on_signals
+from repro.engine.jobs import auto_jobs, jobs_arg, resolve_jobs
 from repro.engine.manifest import RunManifest, read_manifest, resume_spec
 from repro.engine.resilience import ExecutionPolicy
 from repro.engine.result_cache import CacheStats, ResultCache, default_cache_dir
 from repro.engine.scheduler import (
+    CANCELLED_ERROR,
     EngineError,
     UnitOutcome,
     execute,
@@ -37,26 +40,32 @@ from repro.engine.trace_store import TraceStore
 from repro.engine.unit import WorkUnit, decompose, freeze_kwargs
 
 __all__ = [
+    "CANCELLED_ERROR",
     "CacheStats",
     "ChaosAction",
     "ChaosError",
     "ChaosPlan",
     "EngineError",
     "ExecutionPolicy",
+    "INTERRUPT_EXIT_CODE",
     "ResultCache",
     "RunManifest",
     "TraceStore",
     "UnitOutcome",
     "WorkUnit",
+    "auto_jobs",
     "cache_key",
+    "cancel_on_signals",
     "decompose",
     "default_cache_dir",
     "device_fingerprint",
     "execute",
     "freeze_kwargs",
+    "jobs_arg",
     "package_version",
     "raise_on_errors",
     "read_manifest",
+    "resolve_jobs",
     "resume_spec",
     "run_unit_inline",
     "summarize",

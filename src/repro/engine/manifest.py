@@ -42,6 +42,7 @@ UNIT_FIELDS = (
 #: Incident kinds an ``event`` record may carry.
 EVENT_KINDS = (
     "retry", "requeue", "rebuild", "degrade", "quarantine", "chaos-corrupt",
+    "cancel",
 )
 
 

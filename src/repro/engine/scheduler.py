@@ -34,6 +34,7 @@ window — queued units are simply handed to the next pool, unblemished.
 from __future__ import annotations
 
 import os
+import threading
 import time
 import traceback
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
@@ -43,12 +44,13 @@ from typing import Any, Callable, Sequence
 from repro.engine import chaos as chaos_mod
 from repro.engine.chaos import ChaosPlan
 from repro.engine.fingerprint import cache_key, device_fingerprint, package_version
+from repro.engine.jobs import resolve_jobs
 from repro.engine.manifest import RunManifest
 from repro.engine.resilience import ExecutionPolicy
 from repro.engine.result_cache import ResultCache
 from repro.engine.trace_store import TraceStore
 from repro.engine.unit import WorkUnit
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments.base import ExperimentResult
 
 #: The four workloads every driver draws from; prewarmed into the trace
@@ -56,6 +58,16 @@ from repro.experiments.base import ExperimentResult
 STANDARD_TRACES = ("mac", "dos", "hp", "synth")
 
 ProgressCallback = Callable[[int, int, "UnitOutcome"], None]
+
+#: Error string recorded for units abandoned by a cooperative cancel
+#: (SIGINT in ``repro run``, job cancellation in ``repro serve``).  The
+#: units stay ``outcome="error"`` in the manifest, so a later
+#: ``repro run --resume`` re-executes exactly these.
+CANCELLED_ERROR = "cancelled before completion (resume with --resume)"
+
+#: Longest the pool loop will sit in ``wait()`` while a cancel event is
+#: armed; bounds cancellation latency without busying the parent.
+_CANCEL_POLL_S = 0.25
 
 
 class EngineError(ReproError):
@@ -84,6 +96,10 @@ class UnitOutcome:
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def cancelled(self) -> bool:
+        return self.error == CANCELLED_ERROR
 
 
 @dataclass
@@ -171,6 +187,22 @@ def run_unit_observed(
 def _worker_init(store_root: str | None,
                  chaos_plan: dict[str, Any] | None = None,
                  chaos_parent_pid: int | None = None) -> None:
+    # Forked workers inherit the parent's Python-level signal state.  In
+    # particular an asyncio parent (repro serve) has a signal *wakeup fd*
+    # wired to its event loop: if a worker kept it and then caught
+    # SIGTERM (pool rebuild kills workers via terminate()), the child's
+    # handler would write into the shared socketpair and the parent's
+    # loop would see a phantom shutdown signal.  Detach it and restore
+    # sane per-process handlers: SIGINT ignored (the parent coordinates
+    # cooperative cancel), SIGTERM default (terminate() must kill us).
+    import signal as _signal
+
+    try:
+        _signal.set_wakeup_fd(-1)
+        _signal.signal(_signal.SIGINT, _signal.SIG_IGN)
+        _signal.signal(_signal.SIGTERM, _signal.SIG_DFL)
+    except (ValueError, OSError):  # non-main thread / exotic platform
+        pass
     if store_root is not None:
         from repro.experiments import traces_cache
 
@@ -224,6 +256,7 @@ def execute(
     metrics: Any | None = None,
     chaos: ChaosPlan | None = None,
     resumed_from: str | None = None,
+    cancel: threading.Event | None = None,
 ) -> list[UnitOutcome]:
     """Run every unit; returns one :class:`UnitOutcome` per unit, in the
     input order.  Never raises for a unit failure — inspect ``.error``
@@ -244,10 +277,19 @@ def execute(
     skipped — a cache hit would have nothing to record — but finished
     results still land in the cache) and writes its artifacts into the
     given directories, with the paths carried on
-    :attr:`UnitOutcome.artifacts` and in the run manifest."""
-    jobs = jobs if jobs is not None else (os.cpu_count() or 1)
-    if jobs < 1:
-        raise EngineError(f"jobs must be >= 1, got {jobs}")
+    :attr:`UnitOutcome.artifacts` and in the run manifest.
+
+    ``cancel`` is a cooperative stop request (a ``threading.Event``
+    another thread or a signal handler may set): in-flight futures are
+    cancelled and their workers killed, every unfinished unit is
+    recorded with :data:`CANCELLED_ERROR` (so ``--resume`` re-executes
+    exactly those), and a final ``cancel`` event lands in the manifest.
+    The serial path cannot preempt a running driver; it stops between
+    units."""
+    try:
+        jobs = resolve_jobs(jobs)
+    except ConfigurationError as exc:
+        raise EngineError(str(exc)) from None
     policy = policy if policy is not None else ExecutionPolicy()
     if chaos is not None:
         chaos = chaos.bound_to_parent()
@@ -409,10 +451,25 @@ def execute(
                 record_miss(task, os.getpid(), wall_s, result, error, artifacts)
                 return
 
+        def cancel_remaining(tasks: Sequence[_Task]) -> None:
+            """Record every unfinished unit as cancelled (one event)."""
+            ordered = sorted(tasks, key=lambda t: t.index)
+            if not ordered:
+                return
+            event("cancel", units=[task.unit.label for task in ordered])
+            for task in ordered:
+                count("engine_units_cancelled_total")
+                record_miss(task, os.getpid(), 0.0, None, CANCELLED_ERROR, None)
+
         if jobs == 1 or not pending:
             # In-process serial path: byte-identical to the historical
-            # runner (the retry loop only re-enters on failure).
-            for task in pending:
+            # runner (the retry loop only re-enters on failure).  A
+            # cancel takes effect between units — a running driver
+            # cannot be preempted in-process.
+            for position, task in enumerate(pending):
+                if cancel is not None and cancel.is_set():
+                    cancel_remaining(pending[position:])
+                    break
                 run_serially(task)
         else:
             _execute_pool(
@@ -420,6 +477,7 @@ def execute(
                 trace_store=trace_store, trace_dir=trace_dir,
                 metrics_dir=metrics_dir, record_miss=record_miss,
                 run_serially=run_serially, event=event, count=count,
+                cancel=cancel, cancel_remaining=cancel_remaining,
             )
     finally:
         if restore_quarantine_hook and cache is not None:
@@ -441,6 +499,8 @@ def _execute_pool(
     run_serially: Callable[[_Task], None],
     event: Callable[..., None],
     count: Callable[[str], None],
+    cancel: threading.Event | None = None,
+    cancel_remaining: Callable[[Sequence[_Task]], None] = lambda tasks: None,
 ) -> None:
     """Fan ``pending`` over a process pool, surviving hangs and breakage."""
     store_root = str(trace_store.root) if trace_store is not None else None
@@ -533,14 +593,31 @@ def _execute_pool(
             pool = new_pool()
             event("rebuild", consecutive=breakages, dead_workers=dead)
 
+    def cancel_now() -> None:
+        """Cancel in-flight futures, kill their workers, record the rest."""
+        victims = list(in_flight.values()) + queue
+        for future in in_flight:
+            future.cancel()
+        teardown_pool(kill=True)
+        in_flight.clear()
+        deadlines.clear()
+        queue.clear()
+        cancel_remaining(victims)
+
     while (queue or in_flight) and not degraded:
+        if cancel is not None and cancel.is_set():
+            cancel_now()
+            return
         if not fill():
             handle_breakage()
             continue
         if not in_flight:
             # Everything schedulable is waiting out a backoff.
             wake = min(task.not_before for task in queue)
-            time.sleep(max(0.0, wake - time.monotonic()))
+            delay = max(0.0, wake - time.monotonic())
+            if cancel is not None:
+                delay = min(delay, _CANCEL_POLL_S)
+            time.sleep(delay)
             continue
 
         wait_until = min(deadlines.values()) if deadlines else None
@@ -555,6 +632,13 @@ def _execute_pool(
             None if wait_until is None
             else max(0.0, wait_until - time.monotonic())
         )
+        if cancel is not None:
+            # Bound the wait so an armed cancel is honoured promptly
+            # even when nothing is due to finish or time out.
+            timeout = (
+                _CANCEL_POLL_S if timeout is None
+                else min(timeout, _CANCEL_POLL_S)
+            )
         finished, _ = wait(set(in_flight), timeout=timeout,
                            return_when=FIRST_COMPLETED)
 
@@ -622,7 +706,11 @@ def _execute_pool(
 
     if degraded:
         # The pool kept dying; finish the sweep where nothing can break.
-        for task in sorted(queue, key=lambda t: t.index):
+        remaining = sorted(queue, key=lambda t: t.index)
+        for position, task in enumerate(remaining):
+            if cancel is not None and cancel.is_set():
+                cancel_remaining(remaining[position:])
+                return
             run_serially(task)
         return
 
@@ -652,4 +740,5 @@ def summarize(outcomes: Sequence[UnitOutcome]) -> dict[str, Any]:
         "wall_s": sum(outcome.wall_s for outcome in outcomes),
         "retries": sum(outcome.retries for outcome in outcomes),
         "requeued": sum(outcome.requeued for outcome in outcomes),
+        "cancelled": sum(outcome.cancelled for outcome in outcomes),
     }

@@ -1,0 +1,146 @@
+"""Population aggregation: per-device rows → fleet distributions.
+
+The aggregator is deliberately *exact*: quantiles are computed over the
+sorted raw values (linear interpolation at rank ``(n-1)q``), means via
+:func:`math.fsum`, and rows are merged in device-index order before any
+arithmetic.  Because every reduction runs over the same sorted value
+list, the summary is byte-for-byte identical no matter how the fleet was
+sharded or how many workers computed it — the property the service-vs-CLI
+equivalence test (and the CI smoke job) pins down.
+
+Histograms reuse the observability layer's fixed-bound
+:class:`~repro.obs.metrics.Histogram` so fleet distributions and
+``/metrics`` scrapes speak the same bucket language.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any, Iterable
+
+from repro.errors import ConfigurationError
+from repro.experiments.base import Table
+from repro.fleet.population import METRIC_FIELDS, FleetSpec
+from repro.obs.metrics import Histogram, exponential_bounds
+
+#: Population quantiles exported for every metric.
+QUANTILES = (0.50, 0.90, 0.99)
+
+#: Fixed histogram bounds per metric — fixed (not data-derived) so
+#: histograms from different fleets, shards, and releases line up.
+HIST_BOUNDS: dict[str, tuple[float, ...]] = {
+    "energy_j": exponential_bounds(0.001, 2.0, 28),
+    "read_ms": exponential_bounds(0.01, 2.0, 24),
+    "write_ms": exponential_bounds(0.01, 2.0, 24),
+    "overall_ms": exponential_bounds(0.01, 2.0, 24),
+    "wear_max": exponential_bounds(1.0, 2.0, 20),
+}
+
+
+def exact_quantile(sorted_values: list[float], q: float) -> float:
+    """The ``q``-quantile of pre-sorted values, rank ``(n-1)q`` with
+    linear interpolation (numpy's default method)."""
+    if not sorted_values:
+        raise ConfigurationError("quantile of an empty value list")
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+    rank = (len(sorted_values) - 1) * q
+    low = int(rank)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = rank - low
+    return sorted_values[low] * (1.0 - fraction) + sorted_values[high] * fraction
+
+
+def summarize_values(metric: str, values: Iterable[float]) -> dict[str, Any]:
+    """Distribution summary of one metric across the fleet."""
+    ordered = sorted(float(value) for value in values)
+    if not ordered:
+        return {"count": 0}
+    histogram = Histogram(metric, HIST_BOUNDS[metric])
+    for value in ordered:
+        histogram.observe(value)
+    summary: dict[str, Any] = {
+        "count": len(ordered),
+        "mean": math.fsum(ordered) / len(ordered),
+        "min": ordered[0],
+        "max": ordered[-1],
+        "histogram": {
+            "bounds": list(histogram.bounds),
+            "counts": list(histogram.counts),
+        },
+    }
+    for q in QUANTILES:
+        summary[f"p{round(q * 100):d}"] = exact_quantile(ordered, q)
+    return summary
+
+
+def aggregate_rows(rows: list[dict[str, Any]]) -> dict[str, Any]:
+    """Merge per-device rows (from any number of shards) into population
+    distributions.  Rows are keyed by device index; duplicates mean a
+    shard was double-counted and are an error, not a silent skew."""
+    ordered = sorted(rows, key=lambda row: row["device"])
+    indices = [row["device"] for row in ordered]
+    if len(set(indices)) != len(indices):
+        raise ConfigurationError("duplicate device rows: shard overlap")
+    workloads: dict[str, int] = {}
+    specs: dict[str, int] = {}
+    for row in ordered:
+        workloads[row["workload"]] = workloads.get(row["workload"], 0) + 1
+        specs[row["spec"]] = specs.get(row["spec"], 0) + 1
+    metrics = {
+        metric: summarize_values(
+            metric,
+            (row[metric] for row in ordered if row[metric] is not None),
+        )
+        for metric in METRIC_FIELDS
+    }
+    return {
+        "devices": len(ordered),
+        "total_ops": sum(row["ops"] for row in ordered),
+        "workloads": workloads,
+        "device_specs": specs,
+        "metrics": metrics,
+    }
+
+
+def population_summary(spec: FleetSpec, rows: list[dict[str, Any]]) -> dict[str, Any]:
+    """The fleet's canonical summary document (spec header + aggregates)."""
+    population = aggregate_rows(rows)
+    if population["devices"] != spec.devices:
+        raise ConfigurationError(
+            f"fleet of {spec.devices} aggregated only "
+            f"{population['devices']} device rows; missing shard?"
+        )
+    return {"fleet": spec.describe(), "population": population}
+
+
+def canonical_json(summary: dict[str, Any]) -> str:
+    """The summary's canonical serialization (the byte-identity surface)."""
+    return json.dumps(summary, indent=1, sort_keys=True) + "\n"
+
+
+def summary_table(summary: dict[str, Any], title: str = "Fleet population") -> Table:
+    """Render the metric distributions as a report table."""
+    rows = []
+    for metric in METRIC_FIELDS:
+        stats = summary["population"]["metrics"][metric]
+        if stats["count"] == 0:
+            rows.append((metric, 0, "-", "-", "-", "-", "-"))
+            continue
+        rows.append(
+            (
+                metric,
+                stats["count"],
+                stats["mean"],
+                stats["p50"],
+                stats["p90"],
+                stats["p99"],
+                stats["max"],
+            )
+        )
+    return Table(
+        title=title,
+        headers=("metric", "devices", "mean", "p50", "p90", "p99", "max"),
+        rows=tuple(rows),
+    )

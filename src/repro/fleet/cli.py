@@ -1,0 +1,184 @@
+"""``repro fleet`` — run a device population through the engine.
+
+Prints the population distribution table (or, with ``--json``, the
+canonical summary JSON — the byte-identity surface the service-vs-CLI
+equivalence check compares) and honours the full engine surface: result
+cache, manifests, resilience policy, chaos plans, and Ctrl-C cooperative
+cancellation with a ``--resume``-style hint.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.engine import (
+    ChaosPlan,
+    ExecutionPolicy,
+    INTERRUPT_EXIT_CODE,
+    ResultCache,
+    RunManifest,
+    TraceStore,
+    cancel_on_signals,
+    default_cache_dir,
+    jobs_arg,
+    summarize,
+)
+from repro.errors import ConfigurationError
+from repro.fleet.aggregate import canonical_json, summary_table
+from repro.fleet.population import FleetSpec
+from repro.fleet.runner import run_fleet
+
+
+def add_parser(subparsers) -> None:
+    from repro.experiments.runner import parse_scale
+
+    parser = subparsers.add_parser(
+        "fleet",
+        help="simulate a fleet-scale population of heterogeneous devices",
+        description="Sample N mobile computers from a fixed product mix "
+        "(workload, storage device, cache sizes, spin-down policy — all "
+        "derived from per-device hash seeds), simulate each one, and "
+        "aggregate energy/latency/wear into exact population "
+        "distributions.  The summary is byte-identical for any --jobs / "
+        "--shards choice.",
+    )
+    parser.add_argument("--devices", type=int, default=100, metavar="N",
+                        help="fleet size (default 100)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fleet seed; every device derives its own "
+                        "seed from it (default 0)")
+    parser.add_argument("--scale", type=parse_scale, default=0.2,
+                        help="per-device trace-length scale in (0, 1]")
+    parser.add_argument("--ops", type=int, default=400, metavar="N",
+                        help="nominal full-scale ops per device, jittered "
+                        "±50%% per device (default 400)")
+    parser.add_argument("--jobs", type=jobs_arg, default=None, metavar="N",
+                        help="worker processes: a count or 'auto' = CPUs-1 "
+                        "(default auto; 1 = in-process serial)")
+    parser.add_argument("--shards", type=int, default=None, metavar="K",
+                        help="work units to cut the fleet into "
+                        "(default: 2 per worker; 1 when --jobs 1)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result-cache root (default: $REPRO_CACHE_DIR "
+                        "or ~/.cache/repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="recompute every shard; skip the result cache")
+    parser.add_argument("--manifest", default=None,
+                        help="run-manifest JSONL path (default: "
+                        "<cache-dir>/manifests/fleet-<timestamp>.jsonl)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the canonical population summary JSON "
+                        "instead of the table")
+    parser.add_argument("-o", "--out", default=None, metavar="PATH",
+                        help="also write the canonical summary JSON here")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-shard progress lines")
+    parser.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="per-shard wall-clock timeout (default: none)")
+    parser.add_argument("--retries", type=int, default=1, metavar="N",
+                        help="transient failures tolerated per shard "
+                        "(default 1)")
+    parser.add_argument("--max-rebuilds", type=int, default=2, metavar="K",
+                        help="consecutive pool breakages tolerated before "
+                        "degrading to serial (default 2)")
+    parser.add_argument("--chaos", default=None, metavar="PLAN",
+                        help="activate the chaos harness from a plan JSON")
+
+
+def cmd_fleet(args) -> int:
+    try:
+        spec = FleetSpec(
+            devices=args.devices,
+            seed=args.seed,
+            scale=args.scale,
+            ops_per_device=args.ops,
+        )
+        policy = ExecutionPolicy(
+            timeout_s=args.timeout,
+            retries=args.retries,
+            max_rebuilds=args.max_rebuilds,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    chaos = None
+    if args.chaos:
+        try:
+            chaos = ChaosPlan.load(args.chaos)
+        except (OSError, ValueError, KeyError, ConfigurationError) as exc:
+            print(f"error: bad chaos plan {args.chaos}: {exc}", file=sys.stderr)
+            return 2
+
+    cache_root = args.cache_dir or default_cache_dir()
+    cache = None if args.no_cache else ResultCache(cache_root)
+    trace_store = None if args.no_cache else TraceStore(cache_root)
+    manifest_path = args.manifest
+    if manifest_path is None:
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        manifest_path = (
+            f"{cache_root}/manifests/fleet-{stamp}-{os.getpid()}.jsonl"
+        )
+
+    def on_progress(done, total, outcome) -> None:
+        if not args.quiet:
+            status = outcome.cache if outcome.ok else "ERROR"
+            print(f"[{done:3d}/{total}] {outcome.unit.label:52s} "
+                  f"{outcome.wall_s:7.2f}s  {status}", file=sys.stderr)
+
+    started = time.perf_counter()
+    with cancel_on_signals() as cancel:
+        with RunManifest(manifest_path) as manifest:
+            run = run_fleet(
+                spec,
+                jobs=args.jobs,
+                shards=args.shards,
+                cache=cache,
+                trace_store=trace_store,
+                manifest=manifest,
+                policy=policy,
+                chaos=chaos,
+                cancel=cancel,
+                progress=on_progress,
+            )
+    wall = time.perf_counter() - started
+
+    counts = summarize(run.outcomes)
+    if not args.quiet:
+        print(f"fleet: {spec.devices} device(s) in {run.shards} shard(s) "
+              f"over {run.jobs} job(s): {counts['ok']} ok, "
+              f"{counts['errors']} failed ({counts['hits']} cache hit(s)) "
+              f"in {wall:.2f}s", file=sys.stderr)
+        print(f"manifest: {manifest_path}", file=sys.stderr)
+
+    if run.cancelled:
+        print(f"interrupted: {counts['cancelled']} shard(s) not run; "
+              f"resume with: repro run --resume {manifest_path}",
+              file=sys.stderr)
+        return INTERRUPT_EXIT_CODE
+    if not run.ok:
+        for outcome in run.outcomes:
+            if not outcome.ok:
+                print(f"\nFAILED {outcome.unit.label}:\n{outcome.error}",
+                      file=sys.stderr)
+        return 1
+
+    document = canonical_json(run.summary)
+    if args.json:
+        sys.stdout.write(document)
+    else:
+        print(summary_table(
+            run.summary,
+            title=f"Fleet population ({spec.devices} devices, "
+                  f"seed {spec.seed})",
+        ).render())
+    if args.out:
+        out_dir = os.path.dirname(os.path.abspath(args.out))
+        os.makedirs(out_dir, exist_ok=True)
+        with open(args.out, "w") as stream:
+            stream.write(document)
+        if not args.quiet:
+            print(f"wrote {args.out}", file=sys.stderr)
+    return 0

@@ -1,0 +1,161 @@
+"""Fleet execution: decompose a fleet into engine work units and
+aggregate the shards back into one population summary.
+
+:func:`run_fleet` is the single entry point both fronts share — the
+``repro fleet`` CLI and the job service call it with the same arguments,
+which is what makes a fleet submitted over HTTP byte-identical to the
+same fleet run locally with ``--jobs 1``: identical decomposition,
+identical per-device seeds, and an exact (shard-order-independent)
+aggregation.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.engine import (
+    ChaosPlan,
+    ExecutionPolicy,
+    ResultCache,
+    RunManifest,
+    TraceStore,
+    UnitOutcome,
+    WorkUnit,
+    execute,
+    freeze_kwargs,
+    resolve_jobs,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.base import ExperimentResult
+from repro.fleet.aggregate import population_summary
+from repro.fleet.experiment import DEVICE_COLUMNS, DEVICES_TABLE_TITLE
+from repro.fleet.population import FleetSpec
+
+
+def default_shards(devices: int, jobs: int) -> int:
+    """How many work units a fleet becomes when the caller doesn't say.
+
+    Serial runs stay one unit (pure function call, no overhead); parallel
+    runs cut two units per worker — enough to keep the pool busy through
+    uneven shard times and to give the service per-shard progress events —
+    but never more units than devices.
+    """
+    if jobs <= 1:
+        return 1
+    return max(2, min(devices, jobs * 2))
+
+
+def decompose_fleet(spec: FleetSpec, shards: int) -> list[WorkUnit]:
+    """The fleet as ``shards`` engine work units (contiguous device
+    slices; kwargs make each unit independently cacheable/resumable)."""
+    if shards < 1:
+        raise ConfigurationError(f"shards must be >= 1, got {shards}")
+    if shards > spec.devices:
+        shards = spec.devices
+    return [
+        WorkUnit(
+            experiment_id="fleet",
+            scale=spec.scale,
+            seed=spec.seed,
+            kwargs=freeze_kwargs(
+                {
+                    "devices": spec.devices,
+                    "ops": spec.ops_per_device,
+                    "shard": shard,
+                    "shards": shards,
+                }
+            ),
+        )
+        for shard in range(shards)
+    ]
+
+
+def rows_from_result(result: ExperimentResult) -> list[dict[str, Any]]:
+    """Read one shard's per-device rows back out of its result table."""
+    table = result.table(DEVICES_TABLE_TITLE)
+    if table.headers != DEVICE_COLUMNS:
+        raise ConfigurationError(
+            f"unexpected fleet table columns {table.headers!r}"
+        )
+    return [
+        {
+            column: (None if cell == "-" else cell)
+            for column, cell in zip(DEVICE_COLUMNS, row)
+        }
+        for row in table.rows
+    ]
+
+
+@dataclass
+class FleetRun:
+    """Outcome of one fleet execution (summary is None unless complete)."""
+
+    spec: FleetSpec
+    jobs: int
+    shards: int
+    outcomes: list[UnitOutcome]
+    summary: dict[str, Any] | None
+
+    @property
+    def ok(self) -> bool:
+        return self.summary is not None
+
+    @property
+    def cancelled(self) -> bool:
+        return any(outcome.cancelled for outcome in self.outcomes)
+
+
+def run_fleet(
+    spec: FleetSpec,
+    *,
+    jobs: int | str | None = None,
+    shards: int | None = None,
+    cache: ResultCache | None = None,
+    trace_store: TraceStore | None = None,
+    manifest: RunManifest | None = None,
+    policy: ExecutionPolicy | None = None,
+    chaos: ChaosPlan | None = None,
+    cancel: threading.Event | None = None,
+    progress=None,
+    metrics: Any | None = None,
+) -> FleetRun:
+    """Execute a fleet through the engine and aggregate the population.
+
+    All engine affordances apply per shard: cache hits replay, failures
+    retry under ``policy``, a chaos-killed worker re-queues its shard,
+    and ``cancel`` stops cooperatively with unfinished shards recorded
+    for ``--resume``.  The summary is produced only when every shard
+    completed ``ok`` — a partial population is reported as a failure,
+    never silently aggregated.
+    """
+    jobs = resolve_jobs(jobs)
+    if shards is None:
+        shards = default_shards(spec.devices, jobs)
+    units = decompose_fleet(spec, shards)
+    outcomes = execute(
+        units,
+        jobs=jobs,
+        cache=cache,
+        trace_store=trace_store,
+        manifest=manifest,
+        policy=policy,
+        chaos=chaos,
+        cancel=cancel,
+        progress=progress,
+        metrics=metrics,
+    )
+    summary = None
+    if all(outcome.ok and outcome.result is not None for outcome in outcomes):
+        rows: list[dict[str, Any]] = []
+        for outcome in outcomes:
+            rows.extend(rows_from_result(outcome.result))
+        summary = population_summary(spec, rows)
+    return FleetRun(
+        spec=spec,
+        jobs=jobs,
+        shards=len(units),
+        outcomes=outcomes,
+        summary=summary,
+    )

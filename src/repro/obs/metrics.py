@@ -89,6 +89,12 @@ class Gauge:
         return self.value
 
 
+#: Quantiles every histogram exports (JSON ``quantiles`` block and the
+#: Prometheus summary-form rows); what fleet aggregation and ``/metrics``
+#: consumers read.
+EXPORT_QUANTILES = (0.50, 0.90, 0.99)
+
+
 class Histogram:
     """Fixed upper-bound buckets plus sum/count (Prometheus semantics).
 
@@ -120,6 +126,38 @@ class Histogram:
         self.counts[i] += 1
         self.sum += value
         self.count += 1
+
+    def quantile(self, q: float) -> float | None:
+        """Estimated ``q``-quantile (0..1) from the bucket counts.
+
+        Linear interpolation within the containing bucket (the same
+        model as PromQL's ``histogram_quantile``): the first bucket
+        interpolates from 0, and any quantile landing in the +Inf tail
+        reports the highest finite bound.  ``None`` when empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        rank = q * self.count
+        cumulative = 0
+        for i, bound in enumerate(self.bounds):
+            previous = cumulative
+            cumulative += self.counts[i]
+            if cumulative >= rank:
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                if self.counts[i] == 0:
+                    return bound
+                fraction = (rank - previous) / self.counts[i]
+                return lower + (bound - lower) * min(1.0, fraction)
+        return self.bounds[-1]  # tail (+Inf) bucket: clamp to last bound
+
+    def quantiles(
+        self, qs: tuple[float, ...] | None = None
+    ) -> dict[str, float | None]:
+        """The standard export quantiles, keyed ``"p50"``-style."""
+        qs = EXPORT_QUANTILES if qs is None else qs
+        return {f"p{round(q * 100):d}": self.quantile(q) for q in qs}
 
     def reset(self) -> None:
         self.counts = [0] * (len(self.bounds) + 1)
@@ -238,6 +276,7 @@ class MetricsRegistry:
             if isinstance(inst, Histogram):
                 entry["bounds"] = list(inst.bounds)
                 entry.update(inst.sample())
+                entry["quantiles"] = inst.quantiles()
             else:
                 entry["value"] = inst.sample()
             instruments[name] = entry
@@ -271,6 +310,19 @@ class MetricsRegistry:
                 lines.append(f'{full}_bucket{{le="+Inf"}} {inst.count}')
                 lines.append(f"{full}_sum {_fmt(inst.sum)}")
                 lines.append(f"{full}_count {inst.count}")
+                # Pre-computed percentiles in summary form, next to the
+                # buckets, so scrapers that never run histogram_quantile
+                # (dashboards, the fleet aggregator) still see p50/p90/p99.
+                if inst.count:
+                    summary = sanitize_metric_name(f"{full}_quantiles")
+                    lines.append(f"# TYPE {summary} summary")
+                    for q in EXPORT_QUANTILES:
+                        value = inst.quantile(q)
+                        lines.append(
+                            f'{summary}{{quantile="{_fmt(q)}"}} {_fmt(value)}'
+                        )
+                    lines.append(f"{summary}_sum {_fmt(inst.sum)}")
+                    lines.append(f"{summary}_count {inst.count}")
             else:
                 lines.append(f"{full} {_fmt(inst.sample())}")
         return "\n".join(lines) + "\n"

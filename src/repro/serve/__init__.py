@@ -1,0 +1,44 @@
+"""repro.serve — simulation as a service.
+
+An asyncio HTTP job server over the execution engine: submit experiment
+runs or fleet populations with ``POST /jobs``, poll ``GET /jobs/<id>``,
+stream manifest progress from ``GET /jobs/<id>/events`` (NDJSON), cancel
+cooperatively, and scrape ``GET /metrics`` (Prometheus text).  The
+submission queue is bounded — past ``queue_limit`` the server answers
+``429 Too Many Requests`` with ``Retry-After`` — and every job writes a
+resumable JSONL manifest under the spool directory.
+
+Quickstart::
+
+    python -m repro serve --port 8577 &
+    curl -d '{"kind": "fleet", "devices": 1000, "scale": 0.05}' \\
+         http://127.0.0.1:8577/jobs
+    curl http://127.0.0.1:8577/jobs/<id>/events   # streamed progress
+    curl http://127.0.0.1:8577/metrics
+"""
+
+from repro.serve.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    Job,
+    JobManager,
+    QUEUED,
+    QueueFullError,
+    RUNNING,
+    TERMINAL_STATES,
+    parse_request,
+)
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "Job",
+    "JobManager",
+    "QUEUED",
+    "QueueFullError",
+    "RUNNING",
+    "TERMINAL_STATES",
+    "parse_request",
+]

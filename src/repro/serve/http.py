@@ -1,0 +1,292 @@
+"""A small asyncio HTTP/1.1 front end over the :class:`JobManager`.
+
+Stdlib only — ``asyncio.start_server`` plus a minimal request parser —
+because the service's job is orchestration, not web serving.  Every
+response carries ``Connection: close``; the event stream is NDJSON
+delimited by connection close, so ``curl`` and test clients need no
+chunked-transfer support.
+
+Routes::
+
+    GET  /healthz                 liveness probe
+    GET  /metrics                 Prometheus text (engine + serve metrics)
+    GET  /jobs                    all job snapshots
+    POST /jobs                    submit (201; 400 invalid; 429 queue full)
+    GET  /jobs/<id>               one snapshot (404 unknown)
+    GET  /jobs/<id>/events?from=N stream manifest events as NDJSON
+    POST /jobs/<id>/cancel        request cancellation
+    DELETE /jobs/<id>             alias for cancel
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.engine import INTERRUPT_EXIT_CODE
+from repro.errors import ConfigurationError
+from repro.serve.jobs import JobManager, QueueFullError
+
+#: Request size guards.
+MAX_REQUEST_LINE = 8 * 1024
+MAX_HEADER_BYTES = 32 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+#: How long one streaming poll blocks in the executor before re-checking
+#: the connection (keeps runner-thread handoffs responsive).
+STREAM_POLL_S = 1.0
+
+_REASONS = {
+    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+}
+
+
+class _BadRequest(Exception):
+    """Malformed HTTP; the connection is answered 400 and closed."""
+
+
+def _response(status: int, body: bytes, content_type: str,
+              extra_headers: dict[str, str] | None = None) -> bytes:
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode() + body
+
+
+def _json_response(status: int, payload: Any,
+                   extra_headers: dict[str, str] | None = None) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    return _response(status, body, "application/json", extra_headers)
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, dict[str, str], bytes]:
+    """Parse one request: (method, target, headers, body)."""
+    line = await reader.readline()
+    if not line:
+        raise _BadRequest("empty request")
+    if len(line) > MAX_REQUEST_LINE:
+        raise _BadRequest("request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise _BadRequest(f"malformed request line {line!r}")
+    method, target = parts[0].upper(), parts[1]
+
+    headers: dict[str, str] = {}
+    total = 0
+    while True:
+        line = await reader.readline()
+        total += len(line)
+        if total > MAX_HEADER_BYTES:
+            raise _BadRequest("headers too large")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise _BadRequest(f"bad Content-Length {length!r}") from None
+        if n > MAX_BODY_BYTES:
+            raise _BadRequest("body too large")
+        body = await reader.readexactly(n)
+    return method, target, headers, body
+
+
+class ServeApp:
+    """Routes requests onto a :class:`JobManager`."""
+
+    def __init__(self, manager: JobManager) -> None:
+        self.manager = manager
+
+    async def handle(self, reader: asyncio.StreamReader,
+                     writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                method, target, _headers, body = await _read_request(reader)
+            except (_BadRequest, asyncio.IncompleteReadError) as exc:
+                writer.write(_json_response(400, {"error": str(exc)}))
+                await writer.drain()
+                return
+            try:
+                await self._route(method, target, body, writer)
+            except ConnectionError:
+                pass  # client went away mid-stream; nothing to answer
+            except Exception as exc:  # noqa: BLE001 - last-resort 500
+                try:
+                    writer.write(_json_response(500, {"error": repr(exc)}))
+                    await writer.drain()
+                except ConnectionError:
+                    pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(self, method: str, target: str, body: bytes,
+                     writer: asyncio.StreamWriter) -> None:
+        url = urlsplit(target)
+        path = url.path.rstrip("/") or "/"
+        query = parse_qs(url.query)
+
+        if path == "/healthz" and method == "GET":
+            writer.write(_json_response(200, {"ok": True}))
+        elif path == "/metrics" and method == "GET":
+            text = self.manager.metrics.to_prometheus().encode()
+            writer.write(_response(
+                200, text, "text/plain; version=0.0.4; charset=utf-8"
+            ))
+        elif path == "/jobs" and method == "GET":
+            snapshots = [job.snapshot() for job in self.manager.list_jobs()]
+            writer.write(_json_response(200, {"jobs": snapshots}))
+        elif path == "/jobs" and method == "POST":
+            writer.write(self._submit(body))
+        elif path.startswith("/jobs/"):
+            await self._job_route(method, path, query, writer)
+        else:
+            writer.write(_json_response(404, {"error": f"no route {path}"}))
+        await writer.drain()
+
+    def _submit(self, body: bytes) -> bytes:
+        try:
+            payload = json.loads(body.decode() or "null")
+        except (ValueError, UnicodeDecodeError) as exc:
+            return _json_response(400, {"error": f"invalid JSON body: {exc}"})
+        try:
+            job = self.manager.submit(payload)
+        except ConfigurationError as exc:
+            return _json_response(400, {"error": str(exc)})
+        except QueueFullError as exc:
+            return _json_response(
+                429, {"error": str(exc)},
+                extra_headers={"Retry-After": str(exc.retry_after_s)},
+            )
+        return _json_response(201, job.snapshot())
+
+    async def _job_route(self, method: str, path: str,
+                         query: dict[str, list[str]],
+                         writer: asyncio.StreamWriter) -> None:
+        segments = path.split("/")[2:]  # ["<id>"] or ["<id>", "<verb>"]
+        job = self.manager.get(segments[0])
+        if job is None:
+            writer.write(_json_response(
+                404, {"error": f"no such job {segments[0]!r}"}
+            ))
+            return
+        verb = segments[1] if len(segments) > 1 else None
+
+        if verb is None and method == "GET":
+            writer.write(_json_response(200, job.snapshot()))
+        elif verb is None and method == "DELETE":
+            self.manager.cancel(job.id)
+            writer.write(_json_response(200, job.snapshot()))
+        elif verb == "cancel" and method == "POST":
+            self.manager.cancel(job.id)
+            writer.write(_json_response(200, job.snapshot()))
+        elif verb == "events" and method == "GET":
+            start = 0
+            if "from" in query:
+                try:
+                    start = max(0, int(query["from"][0]))
+                except ValueError:
+                    writer.write(_json_response(
+                        400, {"error": "from must be an integer"}
+                    ))
+                    return
+            await self._stream_events(job, start, writer)
+        else:
+            writer.write(_json_response(
+                405, {"error": f"{method} not supported on {path}"}
+            ))
+
+    async def _stream_events(self, job, start: int,
+                             writer: asyncio.StreamWriter) -> None:
+        """NDJSON-stream the job's events until it reaches a terminal
+        state (the last line is the terminal ``job`` record)."""
+        writer.write(
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Connection: close\r\n\r\n".encode()
+        )
+        await writer.drain()
+        loop = asyncio.get_running_loop()
+        cursor = start
+        while True:
+            records = await loop.run_in_executor(
+                None, job.wait_events, cursor, STREAM_POLL_S
+            )
+            for record in records:
+                writer.write((json.dumps(record, sort_keys=True) + "\n").encode())
+            if records:
+                await writer.drain()
+            cursor += len(records)
+            if job.terminal and not job.events_after(cursor):
+                break
+
+
+async def run_server(
+    manager: JobManager,
+    host: str = "127.0.0.1",
+    port: int = 8577,
+    *,
+    ready: asyncio.Event | None = None,
+    stop: asyncio.Event | None = None,
+    install_signal_handlers: bool = True,
+    on_bound=None,
+) -> int:
+    """Serve until SIGINT/SIGTERM (or ``stop`` is set); returns the
+    process exit code.
+
+    On a signal the listener closes, in-flight jobs are cancelled
+    cooperatively (their manifests keep the resume hint usable), and the
+    exit code is 130 — mirroring the CLI fronts' interrupt contract.
+    ``port=0`` binds an ephemeral port, reported via ``on_bound(port)``.
+    """
+    app = ServeApp(manager)
+    stop = stop if stop is not None else asyncio.Event()
+    interrupted = False
+    loop = asyncio.get_running_loop()
+
+    def request_stop() -> None:
+        nonlocal interrupted
+        interrupted = True
+        stop.set()
+
+    if install_signal_handlers:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, request_stop)
+
+    server = await asyncio.start_server(app.handle, host, port)
+    try:
+        if on_bound is not None:
+            on_bound(server.sockets[0].getsockname()[1])
+        if ready is not None:
+            ready.set()
+        await stop.wait()
+    finally:
+        server.close()
+        await server.wait_closed()
+        if install_signal_handlers:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.remove_signal_handler(signum)
+        await loop.run_in_executor(
+            None, lambda: manager.shutdown(cancel_running=True)
+        )
+    return INTERRUPT_EXIT_CODE if interrupted else 0

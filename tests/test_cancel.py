@@ -1,0 +1,106 @@
+"""Cooperative cancellation in the scheduler (serial and pool paths)
+and the signal-to-cancel bridge used by the CLI fronts."""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+
+from repro.engine import (
+    CANCELLED_ERROR,
+    INTERRUPT_EXIT_CODE,
+    RunManifest,
+    ResultCache,
+    cancel_on_signals,
+    decompose,
+    execute,
+    read_manifest,
+    summarize,
+)
+
+FAST_IDS = ("table2", "fig4")
+SMALL = 0.05
+
+
+class TestSerialCancel:
+    def test_preset_cancel_runs_nothing(self, tmp_path):
+        units = decompose(FAST_IDS, scale=SMALL)
+        cancel = threading.Event()
+        cancel.set()
+        with RunManifest(tmp_path / "m.jsonl") as manifest:
+            outcomes = execute(units, jobs=1, manifest=manifest,
+                               cancel=cancel)
+        assert all(o.cancelled for o in outcomes)
+        assert all(o.result is None for o in outcomes)
+        assert summarize(outcomes)["cancelled"] == len(units)
+        records = read_manifest(tmp_path / "m.jsonl")
+        kinds = [r.get("kind") for r in records if r["record"] == "event"]
+        assert "cancel" in kinds
+
+    def test_cancel_between_units(self):
+        units = decompose(FAST_IDS, scale=SMALL, seeds=(1, 2))
+        cancel = threading.Event()
+
+        def stop_after_first(done, total, outcome):
+            cancel.set()
+
+        outcomes = execute(units, jobs=1, cancel=cancel,
+                           progress=stop_after_first)
+        counts = summarize(outcomes)
+        assert counts["ok"] == 1
+        assert counts["cancelled"] == len(units) - 1
+        assert outcomes[0].ok and outcomes[-1].cancelled
+
+    def test_cancelled_units_resume_from_cache(self, tmp_path):
+        units = decompose(FAST_IDS, scale=SMALL)
+        cache = ResultCache(tmp_path)
+        cancel = threading.Event()
+        first = execute(units, jobs=1, cache=cache, cancel=cancel,
+                        progress=lambda d, t, o: cancel.set())
+        assert summarize(first)["cancelled"] == len(units) - 1
+        # Re-run without cancel: the completed unit replays from cache,
+        # the abandoned ones execute now.
+        second = execute(units, jobs=1, cache=cache)
+        assert all(o.ok for o in second)
+        assert [o.cache for o in second].count("hit") == 1
+
+
+class TestPoolCancel:
+    def test_preset_cancel_runs_nothing(self):
+        units = decompose(FAST_IDS, scale=SMALL, seeds=(1, 2))
+        cancel = threading.Event()
+        cancel.set()
+        outcomes = execute(units, jobs=2, cancel=cancel)
+        assert all(o.cancelled for o in outcomes)
+
+    def test_cancel_mid_flight(self):
+        units = decompose(FAST_IDS, scale=SMALL, seeds=(1, 2, 3))
+        cancel = threading.Event()
+
+        def stop_after_first(done, total, outcome):
+            cancel.set()
+
+        outcomes = execute(units, jobs=2, cancel=cancel,
+                           progress=stop_after_first)
+        counts = summarize(outcomes)
+        assert counts["cancelled"] >= 1
+        assert counts["ok"] >= 1
+        assert counts["ok"] + counts["cancelled"] == len(units)
+        # Nothing failed for any other reason.
+        assert all(o.error in (None, CANCELLED_ERROR) for o in outcomes)
+
+
+class TestSignalBridge:
+    def test_sigint_sets_event_once_then_raises(self):
+        with cancel_on_signals() as cancel:
+            assert not cancel.is_set()
+            os.kill(os.getpid(), signal.SIGINT)
+            assert cancel.wait(timeout=5.0)
+        assert INTERRUPT_EXIT_CODE == 130
+
+    def test_handlers_restored_on_exit(self):
+        before = signal.getsignal(signal.SIGINT)
+        with cancel_on_signals():
+            assert signal.getsignal(signal.SIGINT) is not before
+        assert signal.getsignal(signal.SIGINT) is before

@@ -1,0 +1,201 @@
+"""Fleet populations: deterministic sampling, exact aggregation, engine
+integration, and the ``repro fleet`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.engine import ResultCache, resolve_jobs
+from repro.errors import ConfigurationError
+from repro.fleet import (
+    FleetSpec,
+    aggregate_rows,
+    canonical_json,
+    decompose_fleet,
+    default_shards,
+    device_seed,
+    exact_quantile,
+    population_summary,
+    rows_from_result,
+    run_fleet,
+    sample_device,
+    sample_devices,
+    simulate_device,
+)
+from repro.fleet.experiment import run as run_shard, shard_indices
+
+#: Small-but-heterogeneous settings all integration tests share.
+SPEC = FleetSpec(devices=16, seed=11, scale=0.1, ops_per_device=150)
+
+
+# -- sampling determinism --------------------------------------------------
+
+
+class TestSampling:
+    def test_device_seed_is_stable_and_distinct(self):
+        assert device_seed(1, 0) == device_seed(1, 0)
+        assert device_seed(1, 0) != device_seed(1, 1)
+        assert device_seed(1, 0) != device_seed(2, 0)
+
+    def test_sample_independent_of_neighbours(self):
+        # Device 7 is the same device whether sampled alone or in bulk.
+        alone = sample_device(SPEC, 7)
+        in_bulk = sample_devices(SPEC)[7]
+        assert alone == in_bulk
+
+    def test_population_is_heterogeneous(self):
+        # ops large enough that the ±50% jitter clears the MIN_DEVICE_OPS
+        # floor (tiny fleets clamp every trace to the floor by design).
+        spec = FleetSpec(devices=64, seed=3, scale=0.1, ops_per_device=2000)
+        samples = sample_devices(spec)
+        assert len({s.workload for s in samples}) >= 2
+        assert len({s.device for s in samples}) >= 3
+        assert len({s.n_ops for s in samples}) > 8
+
+    def test_hp_devices_have_no_dram(self):
+        spec = FleetSpec(devices=64, seed=3, scale=0.1, ops_per_device=150)
+        for sample in sample_devices(spec):
+            if sample.workload == "hp":
+                assert sample.dram_bytes == 0
+
+    def test_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            FleetSpec(devices=0)
+        with pytest.raises(ConfigurationError):
+            FleetSpec(scale=0.0)
+        with pytest.raises(ConfigurationError):
+            sample_device(SPEC, SPEC.devices)
+
+    def test_simulate_device_row_shape(self):
+        row = simulate_device(sample_device(SPEC, 0))
+        assert row["device"] == 0
+        assert row["energy_j"] > 0
+        assert row["ops"] >= 1
+
+
+# -- exact quantiles / aggregation -----------------------------------------
+
+
+class TestAggregate:
+    def test_exact_quantile_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert exact_quantile(values, 0.0) == 1.0
+        assert exact_quantile(values, 1.0) == 4.0
+        assert exact_quantile(values, 0.5) == 2.5
+        with pytest.raises(ConfigurationError):
+            exact_quantile([], 0.5)
+
+    def test_aggregate_rejects_duplicate_devices(self):
+        row = simulate_device(sample_device(SPEC, 0))
+        with pytest.raises(ConfigurationError):
+            aggregate_rows([row, dict(row)])
+
+    def test_population_summary_requires_complete_fleet(self):
+        rows = [simulate_device(s) for s in sample_devices(SPEC, range(3))]
+        with pytest.raises(ConfigurationError):
+            population_summary(SPEC, rows)
+
+    def test_aggregation_is_shard_order_independent(self):
+        rows = [simulate_device(s) for s in sample_devices(SPEC)]
+        forward = population_summary(SPEC, rows)
+        backward = population_summary(SPEC, list(reversed(rows)))
+        assert canonical_json(forward) == canonical_json(backward)
+
+    def test_wear_only_counts_flash_cards(self):
+        rows = [simulate_device(s) for s in sample_devices(SPEC)]
+        summary = aggregate_rows(rows)
+        wear = summary["metrics"]["wear_max"]
+        flash_cards = summary["device_specs"].get("intel-datasheet", 0)
+        assert wear["count"] == flash_cards
+
+
+# -- sharding --------------------------------------------------------------
+
+
+class TestSharding:
+    def test_shard_indices_partition_the_fleet(self):
+        covered = []
+        for shard in range(5):
+            covered.extend(shard_indices(16, shard, 5))
+        assert covered == list(range(16))
+
+    def test_decompose_clamps_shards_to_devices(self):
+        units = decompose_fleet(FleetSpec(devices=3, seed=1), shards=10)
+        assert len(units) == 3
+
+    def test_default_shards(self):
+        assert default_shards(1000, 1) == 1
+        assert default_shards(1000, 4) == 8
+        assert default_shards(3, 4) == 3
+
+    def test_shard_driver_rows_round_trip(self):
+        result = run_shard(scale=SPEC.scale, seed=SPEC.seed,
+                           devices=SPEC.devices, shard=1, shards=4,
+                           ops=SPEC.ops_per_device)
+        rows = rows_from_result(result)
+        indices = shard_indices(SPEC.devices, 1, 4)
+        assert [row["device"] for row in rows] == list(indices)
+
+
+# -- end-to-end determinism ------------------------------------------------
+
+
+class TestRunFleet:
+    def test_byte_identical_across_shard_counts(self):
+        one = run_fleet(SPEC, jobs=1, shards=1)
+        many = run_fleet(SPEC, jobs=1, shards=5)
+        assert one.ok and many.ok
+        assert canonical_json(one.summary) == canonical_json(many.summary)
+
+    def test_byte_identical_through_cache_replay(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_fleet(SPEC, jobs=1, shards=3, cache=cache)
+        replay = run_fleet(SPEC, jobs=1, shards=3, cache=cache)
+        assert [o.cache for o in replay.outcomes] == ["hit"] * 3
+        assert canonical_json(first.summary) == canonical_json(replay.summary)
+
+    def test_summary_counts_whole_fleet(self):
+        run = run_fleet(SPEC, jobs=1, shards=4)
+        population = run.summary["population"]
+        assert population["devices"] == SPEC.devices
+        assert sum(population["workloads"].values()) == SPEC.devices
+        metrics = population["metrics"]["energy_j"]
+        assert metrics["count"] == SPEC.devices
+        assert metrics["p50"] <= metrics["p90"] <= metrics["p99"]
+
+    def test_jobs_auto_resolves(self):
+        run = run_fleet(SPEC, jobs="auto", shards=1)
+        assert run.jobs == resolve_jobs("auto")
+        assert run.ok
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+class TestFleetCli:
+    def test_json_output_is_canonical(self, tmp_path, capsys):
+        out = tmp_path / "pop.json"
+        code = main([
+            "fleet", "--devices", "8", "--seed", "2", "--scale", "0.1",
+            "--ops", "120", "--jobs", "1", "--no-cache", "--quiet",
+            "--json", "--out", str(out),
+            "--manifest", str(tmp_path / "m.jsonl"),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert stdout == out.read_text()
+        summary = json.loads(stdout)
+        assert summary["fleet"]["devices"] == 8
+        assert summary["population"]["devices"] == 8
+
+    def test_table_output(self, tmp_path, capsys):
+        code = main([
+            "fleet", "--devices", "6", "--seed", "2", "--scale", "0.1",
+            "--ops", "120", "--jobs", "1", "--no-cache", "--quiet",
+            "--manifest", str(tmp_path / "m.jsonl"),
+        ])
+        assert code == 0
+        assert "Fleet population" in capsys.readouterr().out

@@ -244,3 +244,72 @@ def test_prometheus_exposition_format(tmp_path):
     assert "repro_resp_s_sum 11" in lines
     path = registry.write_prometheus(tmp_path / "m.prom")
     assert path.read_text() == text
+
+
+# -- Histogram quantiles -------------------------------------------------------
+
+
+def test_histogram_quantile_interpolates_within_bucket():
+    hist = Histogram("resp_s", (1.0, 2.0, 4.0))
+    for value in (0.5, 1.5, 2.5, 3.5):
+        hist.observe(value)
+    # rank 2 of 4 falls exactly at the (1, 2] bucket's upper edge.
+    assert hist.quantile(0.5) == 2.0
+    # p25 lands mid-way through the first bucket (interpolated from 0).
+    assert hist.quantile(0.25) == 1.0
+    # p100 is the last finite bound even though 3.5 < 4.0.
+    assert hist.quantile(1.0) == 4.0
+
+
+def test_histogram_quantile_empty_and_bounds():
+    hist = Histogram("resp_s", (1.0, 2.0))
+    assert hist.quantile(0.5) is None
+    assert hist.quantiles() == {"p50": None, "p90": None, "p99": None}
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+
+
+def test_histogram_quantile_tail_clamps_to_last_bound():
+    hist = Histogram("resp_s", (1.0, 2.0))
+    hist.observe(100.0)  # lands in the +Inf bucket
+    assert hist.quantile(0.5) == 2.0
+
+
+def test_histogram_quantiles_in_json_export():
+    registry = MetricsRegistry()
+    hist = registry.histogram("resp_s", (1.0, 2.0, 4.0), "responses")
+    for value in (0.5, 1.5, 2.5, 3.5):
+        hist.observe(value)
+    entry = registry.to_json_dict()["instruments"]["resp_s"]
+    assert entry["quantiles"]["p50"] == hist.quantile(0.5)
+    assert set(entry["quantiles"]) == {"p50", "p90", "p99"}
+
+
+def test_histogram_quantiles_in_prometheus_summary_form():
+    registry = MetricsRegistry()
+    hist = registry.histogram("resp_s", (1.0, 2.0, 4.0), "responses")
+    for value in (0.5, 1.5, 2.5, 3.5):
+        hist.observe(value)
+    lines = registry.to_prometheus().splitlines()
+    assert "# TYPE repro_resp_s_quantiles summary" in lines
+    assert 'repro_resp_s_quantiles{quantile="0.5"} 2' in lines
+    assert any(l.startswith('repro_resp_s_quantiles{quantile="0.99"} ')
+               for l in lines)
+    assert "repro_resp_s_quantiles_count 4" in lines
+    # An empty histogram exports buckets but no summary block.
+    empty = MetricsRegistry()
+    empty.histogram("idle_s", (1.0,), "idle")
+    assert "_quantiles" not in empty.to_prometheus()
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=10.0,
+                          allow_nan=False), min_size=1, max_size=50),
+       st.floats(min_value=0.0, max_value=1.0))
+def test_histogram_quantile_within_observed_range(values, q):
+    hist = Histogram("resp_s", exponential_bounds(0.01, 2.0, 12))
+    for value in values:
+        hist.observe(value)
+    estimate = hist.quantile(q)
+    # The bucket model never reports beyond the last finite bound and
+    # never goes negative.
+    assert 0.0 <= estimate <= hist.bounds[-1]
