@@ -1,0 +1,154 @@
+"""Kernel equivalence sweep + timing artifact.
+
+Runs the full Table 4 matrix (3 traces x 7 devices) at a chosen scale
+under three kernels — reference, batched, vector — and, per cell:
+
+* checks the batched result is **bit-identical** to the reference (the
+  fast path is an optimisation, not a behaviour), via
+  :func:`repro.kernel.tolerance.compare_results` *plus* exact
+  energy/duration equality;
+* checks the vector result matches the reference within the declared
+  tolerances (:mod:`repro.kernel.tolerance`), or that it fell back with
+  a named reason on the cells outside the vector envelope;
+* records per-cell wall times for all three kernels.
+
+The JSON artifact (``--output``) is what the CI ``kernel-equivalence``
+job uploads: a per-cell timing table and the aggregate speedup, so a
+kernel perf regression shows up as an artifact diff even while the
+speedup floor in ``perf_guard.py`` still holds.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/kernel_equivalence.py \
+        --scale 0.2 --output kernel-equivalence.json
+
+Exit status 1 on any tolerance violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+TRACES = ("mac", "dos", "hp")
+
+
+def sweep(scale: float, seed: int | None = None) -> dict:
+    from repro.core.config import SimulationConfig
+    from repro.core.simulator import simulate
+    from repro.experiments.exp_table4 import DEVICE_ROWS
+    from repro.experiments.traces_cache import dram_for, trace_for
+    from repro.kernel.tolerance import compare_results
+
+    # Generate/compile every trace up front so the first timed cell does
+    # not pay the one-off costs.
+    for trace_name in TRACES:
+        trace_for(trace_name, scale, seed=seed)
+
+    cells = []
+    problems: list[str] = []
+    totals = {"reference_s": 0.0, "batched_s": 0.0, "vector_s": 0.0}
+    for trace_name in TRACES:
+        trace = trace_for(trace_name, scale, seed=seed)
+        for device in DEVICE_ROWS:
+            config = SimulationConfig(
+                device=device,
+                dram_bytes=dram_for(trace_name),
+                spin_down_timeout_s=5.0,
+                flash_utilization=0.8,
+            )
+            results = {}
+            timings = {}
+            for kernel in ("reference", "batched", "vector"):
+                start = time.perf_counter()
+                results[kernel] = simulate(trace, config, kernel=kernel)
+                timings[f"{kernel}_s"] = time.perf_counter() - start
+            label = f"{trace_name}/{device}"
+
+            mismatches = compare_results(results["reference"],
+                                         results["batched"])
+            if results["batched"].energy_j != results["reference"].energy_j:
+                mismatches.append("batched energy_j not bit-identical")
+            problems.extend(f"{label} [batched]: {m}" for m in mismatches)
+
+            vector = results["vector"]
+            fallback = vector.extra.get("kernel_fallback_reason")
+            if fallback is None:
+                vector_mismatches = compare_results(results["reference"],
+                                                    vector)
+                problems.extend(
+                    f"{label} [vector]: {m}" for m in vector_mismatches
+                )
+            cells.append({
+                "trace": trace_name,
+                "device": device,
+                **timings,
+                "vector_fallback": fallback,
+            })
+            for key in totals:
+                totals[key] += timings[key]
+    vectorized = [c for c in cells if c["vector_fallback"] is None]
+    return {
+        "scale": scale,
+        "seed": seed,
+        "cells": cells,
+        "totals": totals,
+        "vector_cells": len(vectorized),
+        "fallback_cells": len(cells) - len(vectorized),
+        "speedup_batched_over_vector": (
+            totals["batched_s"] / totals["vector_s"]
+            if totals["vector_s"] > 0 else None
+        ),
+        "problems": problems,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="trace-length scale in (0, 1] (default 0.2)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="trace-generation seed (default: module default)")
+    parser.add_argument("-o", "--output", default=None, metavar="PATH",
+                        help="write the timing artifact JSON here")
+    args = parser.parse_args(argv)
+
+    report = sweep(args.scale, seed=args.seed)
+    for cell in report["cells"]:
+        note = (f"fallback: {cell['vector_fallback']}"
+                if cell["vector_fallback"] else
+                f"{cell['batched_s'] / cell['vector_s']:6.1f}x")
+        print(f"{cell['trace']:4s} {cell['device']:20s} "
+              f"ref {cell['reference_s']:7.3f}s  "
+              f"batched {cell['batched_s']:7.3f}s  "
+              f"vector {cell['vector_s']:7.3f}s  {note}")
+    totals = report["totals"]
+    speedup = report["speedup_batched_over_vector"]
+    print(f"\n{report['vector_cells']} vectorized cell(s), "
+          f"{report['fallback_cells']} fallback cell(s); "
+          f"batched {totals['batched_s']:.2f}s vs "
+          f"vector {totals['vector_s']:.2f}s"
+          + (f" ({speedup:.2f}x)" if speedup else ""))
+
+    if args.output:
+        path = Path(args.output)
+        if path.parent != Path("."):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report, indent=1, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+
+    if report["problems"]:
+        print(f"\n{len(report['problems'])} tolerance violation(s):",
+              file=sys.stderr)
+        for problem in report["problems"]:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print("kernel equivalence holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

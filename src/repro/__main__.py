@@ -35,6 +35,15 @@ def _jobs_arg(text: str) -> int:
     return jobs_arg(text)
 
 
+def _add_kernel_arg(parser) -> None:
+    parser.add_argument("--kernel", choices=("reference", "batched", "vector"),
+                        default=None,
+                        help="simulation kernel (default batched; vector is "
+                        "the NumPy fast path, equal within the documented "
+                        "float tolerance, falling back to batched outside "
+                        "its envelope)")
+
+
 def _add_simulate(subparsers) -> None:
     parser = subparsers.add_parser("simulate", help="simulate a workload on a device")
     parser.add_argument("--workload", default="mac",
@@ -50,6 +59,7 @@ def _add_simulate(subparsers) -> None:
     parser.add_argument("--no-spin-down", action="store_true")
     parser.add_argument("--cleaning-policy", default="greedy")
     parser.add_argument("--write-back", action="store_true")
+    _add_kernel_arg(parser)
 
 
 def _add_generate(subparsers) -> None:
@@ -76,6 +86,7 @@ def _add_experiment(subparsers) -> None:
                         help="trace-length scale in (0, 1]")
     parser.add_argument("--seed", type=int, default=None,
                         help="trace-generation seed (default: module default)")
+    _add_kernel_arg(parser)
 
 
 def _add_inspect(subparsers) -> None:
@@ -114,6 +125,11 @@ def _add_profile(subparsers) -> None:
                         help="trace-generation seed (default: module default)")
     parser.add_argument("--top", type=int, default=15,
                         help="rows in the per-function table (default 15)")
+    parser.add_argument("--kernel", choices=("reference", "batched", "vector"),
+                        default=None,
+                        help="simulation kernel to profile; a non-default "
+                        "choice also profiles the batched baseline and "
+                        "reports the per-subpackage speedup delta")
     parser.add_argument("-o", "--output", default=None, metavar="PATH",
                         help="also write the report as a JSON artifact")
 
@@ -241,6 +257,7 @@ def _add_run(subparsers) -> None:
                         help="activate the chaos harness from a plan JSON "
                         "(testing: kills/hangs/crashes workers and corrupts "
                         "cache entries per the plan)")
+    _add_kernel_arg(parser)
 
 
 def _add_fleet(subparsers) -> None:
@@ -341,10 +358,16 @@ def cmd_simulate(args) -> int:
         cleaning_policy=args.cleaning_policy,
         write_back=args.write_back,
     )
-    result = simulate(trace, config)
+    result = simulate(trace, config, kernel=args.kernel)
     print(f"trace       {result.trace_name} ({len(trace)} ops, "
           f"{trace.duration:.0f} s)")
     print(f"device      {result.device_name}")
+    if result.extra.get("kernel"):
+        note = ""
+        if result.extra.get("kernel_fallback_reason"):
+            note = (f" (requested {result.extra['kernel_requested']}; "
+                    f"fell back: {result.extra['kernel_fallback_reason']})")
+        print(f"kernel      {result.extra['kernel']}{note}")
     print(f"energy      {result.energy_j:.1f} J "
           f"({result.energy_j / max(result.duration_s, 1e-9):.3f} W average)")
     print(f"reads       {result.n_reads}: mean {result.read_response.mean_ms:.3f} ms, "
@@ -411,7 +434,8 @@ def cmd_analyze(args) -> int:
 def cmd_experiment(args) -> int:
     from repro.experiments.runner import run_experiment
 
-    print(run_experiment(args.experiment_id, scale=args.scale, seed=args.seed).render())
+    print(run_experiment(args.experiment_id, scale=args.scale, seed=args.seed,
+                         kernel=args.kernel).render())
     return 0
 
 
@@ -441,7 +465,8 @@ def cmd_profile(args) -> int:
 
     try:
         report = profile_experiment(
-            args.experiment_id, scale=args.scale, seed=args.seed, top=args.top
+            args.experiment_id, scale=args.scale, seed=args.seed,
+            top=args.top, kernel=args.kernel,
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -502,6 +527,7 @@ def cmd_run(args) -> int:
         experiment_ids = spec["experiment_ids"]
         scale = spec["scale"]
         seeds = tuple(spec["seeds"])
+        kernel = spec.get("kernel")
         spec_cache_dir = spec["cache_dir"]
     else:
         if args.all or not args.experiments:
@@ -516,8 +542,9 @@ def cmd_run(args) -> int:
             experiment_ids = args.experiments
         scale = args.scale
         seeds = tuple(args.seed) if args.seed else (None,)
+        kernel = args.kernel
 
-    units = decompose(experiment_ids, scale=scale, seeds=seeds)
+    units = decompose(experiment_ids, scale=scale, seeds=seeds, kernel=kernel)
 
     try:
         policy = ExecutionPolicy(

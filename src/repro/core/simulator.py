@@ -38,6 +38,7 @@ from repro.core.results import SimulationResult
 from repro.devices.flashcard import FlashCard
 from repro.errors import TraceError
 from repro.faults.injector import FaultInjector
+from repro.kernel import runtime as kernel_runtime
 from repro.obs import runtime as obs_runtime
 from repro.traces.compiled import compile_trace
 from repro.traces.filemap import FileMapper
@@ -51,12 +52,27 @@ class Simulator:
         self.config = config if config is not None else SimulationConfig()
 
     def run(
-        self, trace: Trace, *, batched: bool = True, obs=None
+        self,
+        trace: Trace,
+        *,
+        batched: bool = True,
+        obs=None,
+        kernel: str | None = None,
     ) -> SimulationResult:
         """Simulate ``trace`` and return the measured statistics.
 
         ``batched=False`` selects the per-operation reference path; the
         results are bit-identical either way.
+
+        ``kernel`` selects the simulation engine by name (``reference``,
+        ``batched``, or ``vector``) and overrides ``batched`` when given;
+        when omitted, the process-global selection from
+        :mod:`repro.kernel.runtime` applies, and when that is unset too
+        the ``batched`` flag decides as before.  The ``vector`` kernel
+        answers within the documented floating-point tolerance
+        (:mod:`repro.kernel.tolerance`); configurations outside its
+        envelope fall back to ``batched`` and record why in
+        ``result.extra["kernel_fallback_reason"]``.
 
         ``obs`` optionally attaches an
         :class:`~repro.obs.session.ObservabilitySession` (event tracing +
@@ -66,9 +82,35 @@ class Simulator:
         only — it never participates in the simulation arithmetic, so
         results are bit-identical with or without it.
         """
-        config = self.config
         if obs is None:
             obs = obs_runtime.active()
+        if kernel is None:
+            kernel = kernel_runtime.active()
+        if kernel is not None:
+            from repro.kernel import validate_kernel
+
+            validate_kernel(kernel)
+            if kernel == "vector":
+                # Imported lazily: the vector kernel imports core modules.
+                from repro.kernel.vector import simulate_vector, unsupported_reason
+
+                reason = unsupported_reason(self.config, obs)
+                if reason is None:
+                    return simulate_vector(trace, self.config)
+                result = self._run_classic(trace, batched=True, obs=obs)
+                result.extra["kernel"] = "batched"
+                result.extra["kernel_requested"] = "vector"
+                result.extra["kernel_fallback_reason"] = reason
+                return result
+            result = self._run_classic(trace, batched=kernel == "batched", obs=obs)
+            result.extra["kernel"] = kernel
+            return result
+        return self._run_classic(trace, batched=batched, obs=obs)
+
+    def _run_classic(
+        self, trace: Trace, *, batched: bool, obs
+    ) -> SimulationResult:
+        config = self.config
         plan = config.fault_plan
         # A plan with every rate zero and no power-loss schedule is treated
         # exactly like no plan at all: no injector, no extra stats keys, and
@@ -264,6 +306,7 @@ def simulate(
     *,
     batched: bool = True,
     obs=None,
+    kernel: str | None = None,
 ) -> SimulationResult:
     """Convenience wrapper: simulate ``trace`` under ``config``."""
-    return Simulator(config).run(trace, batched=batched, obs=obs)
+    return Simulator(config).run(trace, batched=batched, obs=obs, kernel=kernel)

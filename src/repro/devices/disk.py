@@ -13,25 +13,73 @@ spin-up, which is what pushes worst-case responses to several seconds (the
 Per the paper's simulator assumptions (section 4.2): repeated accesses to
 the same file never seek; any other access pays the average seek; every
 transfer pays average rotational latency.
+
+Split per the state/math convention of :mod:`repro.devices.base`:
+:class:`MagneticDiskState` carries the spindle state, clocks, and
+counters; :class:`MagneticDiskModel` is the pure cost arithmetic
+(mechanical latency, transfer time, power draws) the vector kernel
+shares; :class:`MagneticDisk` composes the two on the per-op path.
 """
 
 from __future__ import annotations
 
 import enum
 from collections.abc import Sequence
+from dataclasses import dataclass
 
-from repro.devices.base import AccessKind, StorageDevice
+from repro.devices.base import (
+    AccessKind,
+    DeviceModel,
+    DeviceState,
+    StorageDevice,
+    state_mirror,
+)
 from repro.devices.specs import DiskSpec
 from repro.devices.spindown import FixedTimeoutPolicy, SpinDownPolicy
 from repro.units import transfer_time
 
 
-class DiskState(enum.Enum):
+class SpindleState(enum.Enum):
     """Power states of the spindle."""
 
     SLEEPING = "sleeping"
     SPINNING = "spinning"
     SPINNING_DOWN = "spinning_down"
+
+
+#: Historical name for the spindle state enum, kept as an alias.
+DiskState = SpindleState
+
+
+@dataclass
+class MagneticDiskState(DeviceState):
+    """Mutable disk bookkeeping: spindle machine, spin counters, locality."""
+
+    spindle: SpindleState = SpindleState.SPINNING
+    spin_ups: int = 0
+    spin_downs: int = 0
+    idle_since: float = 0.0
+    spin_down_end: float = 0.0
+    last_file: int | None = None
+
+
+class MagneticDiskModel(DeviceModel):
+    """Pure disk cost math: mechanical time, transfer time, power draws."""
+
+    __slots__ = ()
+
+    def operation_time(
+        self, size: int, file_id: int, last_file: int | None, kind: AccessKind
+    ) -> float:
+        """Mechanical + transfer time for one operation (excludes spin-up)."""
+        spec = self.spec
+        seek = 0.0 if file_id == last_file else spec.seek_s
+        bandwidth = (
+            spec.read_bandwidth_bps
+            if kind is AccessKind.READ
+            else spec.write_bandwidth_bps
+        )
+        return seek + spec.rotation_s + spec.controller_s + transfer_time(size, bandwidth)
 
 
 class MagneticDisk(StorageDevice):
@@ -44,6 +92,8 @@ class MagneticDisk(StorageDevice):
             with the disk spun up; micro-benchmarks keep it spinning).
     """
 
+    state_factory = MagneticDiskState
+
     def __init__(
         self,
         spec: DiskSpec,
@@ -52,129 +102,129 @@ class MagneticDisk(StorageDevice):
     ) -> None:
         super().__init__(spec.name)
         self.spec = spec
+        self.model = MagneticDiskModel(spec)
         self.policy = policy if policy is not None else FixedTimeoutPolicy(5.0)
-        self.state = DiskState.SPINNING if start_spinning else DiskState.SLEEPING
-        self.spin_ups = 0
-        self.spin_downs = 0
-        self._idle_since = 0.0
-        self._spin_down_end = 0.0
-        self._last_file: int | None = None
+        self._state.spindle = (
+            SpindleState.SPINNING if start_spinning else SpindleState.SLEEPING
+        )
+
+    # Public field API, delegated to the state object.
+    state = state_mirror("spindle", doc="Current spindle state.")
+    spin_ups = state_mirror("spin_ups")
+    spin_downs = state_mirror("spin_downs")
+    _idle_since = state_mirror("idle_since")
+    _spin_down_end = state_mirror("spin_down_end")
+    _last_file = state_mirror("last_file")
 
     # -- idle-time state machine --------------------------------------------------
 
     def advance(self, until: float) -> None:
-        while self.clock < until - 1e-12:
-            if self.state is DiskState.SPINNING:
-                deadline = self.policy.spin_down_at(self._idle_since)
+        state = self._state
+        spec = self.spec
+        charge = self.energy.charge
+        while state.clock < until - 1e-12:
+            if state.spindle is SpindleState.SPINNING:
+                deadline = self.policy.spin_down_at(state.idle_since)
                 if deadline is None or deadline >= until:
-                    self.energy.charge("idle", self.spec.idle_power_w, until - self.clock)
-                    self.clock = until
+                    charge("idle", spec.idle_power_w, until - state.clock)
+                    state.clock = until
                     continue
-                if deadline > self.clock:
-                    self.energy.charge(
-                        "idle", self.spec.idle_power_w, deadline - self.clock
-                    )
-                    self.clock = deadline
-                self.state = DiskState.SPINNING_DOWN
-                self._spin_down_end = self.clock + self.spec.spin_down_s
-                self.spin_downs += 1
+                if deadline > state.clock:
+                    charge("idle", spec.idle_power_w, deadline - state.clock)
+                    state.clock = deadline
+                state.spindle = SpindleState.SPINNING_DOWN
+                state.spin_down_end = state.clock + spec.spin_down_s
+                state.spin_downs += 1
                 if self.obs_sink is not None:
                     self.obs_sink(
-                        "spin_down", self.clock, self.spec.spin_down_s, self.name
+                        "spin_down", state.clock, spec.spin_down_s, self.name
                     )
-            elif self.state is DiskState.SPINNING_DOWN:
-                end = min(until, self._spin_down_end)
-                self.energy.charge(
-                    "spin_down", self.spec.spin_down_power_w, end - self.clock
-                )
-                self.clock = end
-                if self.clock >= self._spin_down_end - 1e-12:
-                    self.state = DiskState.SLEEPING
+            elif state.spindle is SpindleState.SPINNING_DOWN:
+                end = min(until, state.spin_down_end)
+                charge("spin_down", spec.spin_down_power_w, end - state.clock)
+                state.clock = end
+                if state.clock >= state.spin_down_end - 1e-12:
+                    state.spindle = SpindleState.SLEEPING
             else:  # SLEEPING
-                self.energy.charge("sleep", self.spec.sleep_power_w, until - self.clock)
-                self.clock = until
+                charge("sleep", spec.sleep_power_w, until - state.clock)
+                state.clock = until
 
     def accepts_immediate_flush(self) -> bool:
         """Drain write buffers only while the platters are spinning."""
-        return self.state is DiskState.SPINNING
+        return self._state.spindle is SpindleState.SPINNING
 
     def power_cycle(self, at: float) -> None:
         """Power loss: the platters emergency-retract and stop; the next
         access pays a full spin-up."""
         super().power_cycle(at)
-        self.state = DiskState.SLEEPING
-        self._idle_since = at
-        self._last_file = None
+        state = self._state
+        state.spindle = SpindleState.SLEEPING
+        state.idle_since = at
+        state.last_file = None
 
     # -- access path ---------------------------------------------------------------
 
     def read(self, at: float, size: int, blocks: Sequence[int], file_id: int) -> float:
         completion = self._access(at, size, file_id, AccessKind.READ)
-        self.reads += 1
-        self.bytes_read += size
+        state = self._state
+        state.reads += 1
+        state.bytes_read += size
         return completion
 
     def write(self, at: float, size: int, blocks: Sequence[int], file_id: int) -> float:
         completion = self._access(at, size, file_id, AccessKind.WRITE)
-        self.writes += 1
-        self.bytes_written += size
+        state = self._state
+        state.writes += 1
+        state.bytes_written += size
         return completion
 
     def _access(self, at: float, size: int, file_id: int, kind: AccessKind) -> float:
         spec = self.spec
+        state = self._state
         start = self._begin(at)
         now = start
 
-        if self.state is DiskState.SPINNING_DOWN:
+        if state.spindle is SpindleState.SPINNING_DOWN:
             # Uninterruptible: wait out the remainder of the spin-down.
-            wait = self._spin_down_end - now
+            wait = state.spin_down_end - now
             self.energy.charge("spin_down", spec.spin_down_power_w, wait)
-            now = self._spin_down_end
-            self.state = DiskState.SLEEPING
+            now = state.spin_down_end
+            state.spindle = SpindleState.SLEEPING
 
-        if self.state is DiskState.SLEEPING:
-            self.policy.note_spin_up(now, now - self._idle_since)
+        if state.spindle is SpindleState.SLEEPING:
+            self.policy.note_spin_up(now, now - state.idle_since)
             self.energy.charge("spin_up", spec.spin_up_power_w, spec.spin_up_s)
             if self.obs_sink is not None:
                 self.obs_sink("spin_up", now, spec.spin_up_s, self.name)
             now += spec.spin_up_s
-            self.spin_ups += 1
-            self.state = DiskState.SPINNING
+            state.spin_ups += 1
+            state.spindle = SpindleState.SPINNING
 
-        duration = self._operation_time(size, file_id, kind)
+        duration = self.model.operation_time(size, file_id, state.last_file, kind)
         self.energy.charge(kind.value, spec.active_power_w, duration)
         now += duration
 
-        self.clock = now
-        self.busy_until = now
-        self._idle_since = now
-        self._last_file = file_id
+        state.clock = now
+        state.busy_until = now
+        state.idle_since = now
+        state.last_file = file_id
         return now
-
-    def _operation_time(self, size: int, file_id: int, kind: AccessKind) -> float:
-        """Mechanical + transfer time for one operation (excludes spin-up)."""
-        spec = self.spec
-        seek = 0.0 if file_id == self._last_file else spec.seek_s
-        bandwidth = (
-            spec.read_bandwidth_bps
-            if kind is AccessKind.READ
-            else spec.write_bandwidth_bps
-        )
-        return seek + spec.rotation_s + spec.controller_s + transfer_time(size, bandwidth)
 
     # -- reporting ---------------------------------------------------------------
 
     def reset_accounting(self) -> None:
         super().reset_accounting()
-        self.spin_ups = 0
-        self.spin_downs = 0
+        state = self._state
+        state.spin_ups = 0
+        state.spin_downs = 0
 
     def stats(self) -> dict[str, float]:
         base = super().stats()
+        state = self._state
         base.update(
             {
-                "spin_ups": self.spin_ups,
-                "spin_downs": self.spin_downs,
+                "spin_ups": state.spin_ups,
+                "spin_downs": state.spin_downs,
             }
         )
         return base

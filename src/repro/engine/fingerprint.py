@@ -68,6 +68,10 @@ def cache_key(
             "experiment_id": unit.experiment_id,
             "scale": unit.scale,
             "seed": unit.seed,
+            # The kernel is part of the result's identity: the vector
+            # kernel answers within tolerance, not bit-identically, so a
+            # vector result must never replay for a batched request.
+            "kernel": unit.kernel,
             "kwargs": {key: value for key, value in unit.kwargs},
             "devices": fingerprint if fingerprint is not None else device_fingerprint(),
             "version": version if version is not None else package_version(),

@@ -34,7 +34,7 @@ SCHEMA_VERSION = 2
 
 #: Fields every unit record carries (tested as the manifest schema).
 UNIT_FIELDS = (
-    "record", "experiment_id", "scale", "seed", "kwargs", "key",
+    "record", "experiment_id", "scale", "seed", "kernel", "kwargs", "key",
     "cache", "worker", "wall_s", "outcome", "error", "artifacts",
     "retries", "requeued",
 )
@@ -74,6 +74,7 @@ class RunManifest:
         experiment_ids: Sequence[str] | None = None,
         policy: dict[str, Any] | None = None,
         resumed_from: str | None = None,
+        kernel: str | None = None,
     ) -> None:
         self._write(
             {
@@ -84,6 +85,7 @@ class RunManifest:
                 "units": units,
                 "scale": scale,
                 "seeds": list(seeds),
+                "kernel": kernel,
                 "experiment_ids": (
                     list(experiment_ids) if experiment_ids is not None else None
                 ),
@@ -115,6 +117,7 @@ class RunManifest:
                 "experiment_id": unit.experiment_id,
                 "scale": unit.scale,
                 "seed": unit.seed,
+                "kernel": unit.kernel,
                 "kwargs": {name: repr(value) for name, value in unit.kwargs},
                 "key": key,
                 "cache": cache,
@@ -191,6 +194,7 @@ def resume_spec(path: str | Path) -> dict[str, Any]:
         "experiment_ids": list(run["experiment_ids"]),
         "scale": run["scale"],
         "seeds": tuple(run["seeds"]),
+        "kernel": run.get("kernel"),
         "jobs": run.get("jobs"),
         "cache_dir": run.get("cache_dir"),
         "fingerprint": run.get("fingerprint"),

@@ -127,6 +127,7 @@ def run_unit_inline(unit: WorkUnit) -> ExperimentResult:
         unit.experiment_id,
         scale=unit.scale,
         seed=unit.seed,
+        kernel=unit.kernel,
         **unit.kwargs_dict(),
     )
 
@@ -334,6 +335,7 @@ def execute(
             )),
             policy=policy.to_json_dict(),
             resumed_from=resumed_from,
+            kernel=units[0].kernel if units else None,
         )
 
     def finish(index: int, outcome: UnitOutcome) -> None:

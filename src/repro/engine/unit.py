@@ -44,12 +44,20 @@ class WorkUnit:
     scale: float = 1.0
     seed: int | None = None
     kwargs: KwargItems = field(default=())
+    #: simulation kernel for every simulate() call the driver makes
+    #: (None = the process default); rides the unit across process
+    #: boundaries so workers reproduce the parent's selection.
+    kernel: str | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.scale <= 1.0:
             raise ConfigurationError(
                 f"scale must be in (0, 1], got {self.scale}"
             )
+        if self.kernel is not None:
+            from repro.kernel import validate_kernel
+
+            validate_kernel(self.kernel)
 
     @property
     def label(self) -> str:
@@ -57,6 +65,8 @@ class WorkUnit:
         parts = [self.experiment_id, f"s={self.scale:g}"]
         if self.seed is not None:
             parts.append(f"seed={self.seed}")
+        if self.kernel is not None:
+            parts.append(f"kernel={self.kernel}")
         parts.extend(f"{key}={value!r}" for key, value in self.kwargs)
         return " ".join(parts)
 
@@ -70,6 +80,7 @@ def decompose(
     scale: float = 1.0,
     seeds: Sequence[int | None] = (None,),
     kwargs: dict[str, Any] | None = None,
+    kernel: str | None = None,
 ) -> list[WorkUnit]:
     """Flatten a run request into independent work units.
 
@@ -90,6 +101,7 @@ def decompose(
                 scale=scale,
                 seed=seed,
                 kwargs=frozen,
+                kernel=kernel,
             )
             if unit not in seen:
                 seen.add(unit)

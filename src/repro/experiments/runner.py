@@ -56,6 +56,7 @@ def run_experiment(
     experiment_id: str,
     scale: float = 1.0,
     seed: int | None = None,
+    kernel: str | None = None,
     **kwargs: Any,
 ) -> ExperimentResult:
     """Run one experiment by id.
@@ -66,10 +67,21 @@ def run_experiment(
     changes — and without mutating process-global state, which is what
     makes runs safe to fan out across worker processes.
 
+    ``kernel`` selects the simulation engine for every ``simulate`` call
+    the driver makes (installed for the duration via
+    :func:`repro.kernel.using_kernel`, so drivers need no kernel
+    parameter of their own); None leaves the process default in place.
+
     For third-party drivers that predate the explicit parameter, the old
     behaviour (temporarily retargeting the module-default seed) is kept
     behind a :class:`DeprecationWarning`.
     """
+    if kernel is not None:
+        from repro.kernel import using_kernel, validate_kernel
+
+        validate_kernel(kernel)
+        with using_kernel(kernel):
+            return run_experiment(experiment_id, scale=scale, seed=seed, **kwargs)
     experiment = get_experiment(experiment_id)
     if seed is None:
         return experiment(scale=scale, **kwargs)
@@ -95,6 +107,7 @@ def run_all(
     seed: int | None = None,
     jobs: int = 1,
     cache: Any = None,
+    kernel: str | None = None,
 ) -> dict[str, ExperimentResult]:
     """Run every registered experiment; returns results keyed by id.
 
@@ -106,7 +119,9 @@ def run_all(
     """
     from repro.engine import decompose, execute, raise_on_errors
 
-    units = decompose(sorted(all_experiments()), scale=scale, seeds=(seed,))
+    units = decompose(
+        sorted(all_experiments()), scale=scale, seeds=(seed,), kernel=kernel
+    )
     outcomes = execute(units, jobs=jobs, cache=cache)
     raise_on_errors(outcomes)
     return {
@@ -127,6 +142,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="trace-generation seed (default: module default)")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for --all (default 1: serial)")
+    parser.add_argument("--kernel", choices=("reference", "batched", "vector"),
+                        default=None,
+                        help="simulation kernel (default: batched; vector "
+                        "answers within the documented float tolerance)")
     parser.add_argument("--list", action="store_true", help="list experiments")
     parser.add_argument("--output", help="also write the report to this file "
                         "(appended experiment by experiment)")
@@ -155,7 +174,8 @@ def main(argv: list[str] | None = None) -> int:
             from repro.engine import decompose, execute, raise_on_errors
 
             units = decompose(
-                sorted(all_experiments()), scale=args.scale, seeds=(args.seed,)
+                sorted(all_experiments()), scale=args.scale,
+                seeds=(args.seed,), kernel=args.kernel,
             )
             index_of = {unit: index for index, unit in enumerate(units)}
             buffered: dict[int, Any] = {}
@@ -181,7 +201,8 @@ def main(argv: list[str] | None = None) -> int:
         else:
             emit(
                 run_experiment(
-                    args.experiment, scale=args.scale, seed=args.seed
+                    args.experiment, scale=args.scale, seed=args.seed,
+                    kernel=args.kernel,
                 ).render()
             )
     finally:

@@ -85,6 +85,11 @@ def add_parser(subparsers) -> None:
                         "degrading to serial (default 2)")
     parser.add_argument("--chaos", default=None, metavar="PLAN",
                         help="activate the chaos harness from a plan JSON")
+    parser.add_argument("--kernel", choices=("reference", "batched", "vector"),
+                        default=None,
+                        help="simulation kernel for every device (default "
+                        "batched; vector answers within the documented "
+                        "float tolerance)")
 
 
 def cmd_fleet(args) -> int:
@@ -142,6 +147,7 @@ def cmd_fleet(args) -> int:
                 chaos=chaos,
                 cancel=cancel,
                 progress=on_progress,
+                kernel=args.kernel,
             )
     wall = time.perf_counter() - started
 

@@ -47,9 +47,15 @@ def default_shards(devices: int, jobs: int) -> int:
     return max(2, min(devices, jobs * 2))
 
 
-def decompose_fleet(spec: FleetSpec, shards: int) -> list[WorkUnit]:
+def decompose_fleet(
+    spec: FleetSpec, shards: int, kernel: str | None = None
+) -> list[WorkUnit]:
     """The fleet as ``shards`` engine work units (contiguous device
-    slices; kwargs make each unit independently cacheable/resumable)."""
+    slices; kwargs make each unit independently cacheable/resumable).
+
+    ``kernel`` rides each unit, so every shard simulates its devices
+    under the same engine regardless of which worker runs it.
+    """
     if shards < 1:
         raise ConfigurationError(f"shards must be >= 1, got {shards}")
     if shards > spec.devices:
@@ -59,6 +65,7 @@ def decompose_fleet(spec: FleetSpec, shards: int) -> list[WorkUnit]:
             experiment_id="fleet",
             scale=spec.scale,
             seed=spec.seed,
+            kernel=kernel,
             kwargs=freeze_kwargs(
                 {
                     "devices": spec.devices,
@@ -120,6 +127,7 @@ def run_fleet(
     cancel: threading.Event | None = None,
     progress=None,
     metrics: Any | None = None,
+    kernel: str | None = None,
 ) -> FleetRun:
     """Execute a fleet through the engine and aggregate the population.
 
@@ -133,7 +141,7 @@ def run_fleet(
     jobs = resolve_jobs(jobs)
     if shards is None:
         shards = default_shards(spec.devices, jobs)
-    units = decompose_fleet(spec, shards)
+    units = decompose_fleet(spec, shards, kernel)
     outcomes = execute(
         units,
         jobs=jobs,

@@ -1,0 +1,161 @@
+"""Shared DRAM buffer-cache classification pass.
+
+In the write-through/LRU envelope the vector kernel supports, the DRAM
+cache's behaviour is a pure function of the operation stream: which blocks
+hit, which miss, and which sub-request reaches the layer below depend only
+on the block sequence and the cache capacity — never on the device.  One
+sequential pass therefore serves *every* device row of a sweep; the result
+is cached on the trace keyed by capacity, exactly like the compiled ops.
+
+The pass replays :class:`~repro.cache.buffer_cache.BufferCache` +
+:class:`~repro.cache.policies.LruPolicy` semantics on one ``OrderedDict``:
+
+* READ: partition blocks into hits (touched) and misses, then install the
+  misses (evicting LRU victims);
+* WRITE: install all blocks (touch resident, insert new with eviction);
+* DELETE: invalidate.
+
+Outputs are per-op arrays (hit/miss counts and the DRAM wait) plus a flat
+``miss`` array with offsets for the few consumers that need miss block
+identities (the sleeping-disk episode path).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.kernel.arrays import DELETE, READ, OpArrays
+
+if TYPE_CHECKING:
+    from repro.devices.specs import MemorySpec
+    from repro.traces.compiled import CompiledOps
+    from repro.traces.trace import Trace
+
+_CACHE_ATTR = "_kernel_dram_plans"
+
+
+class DramPlan:
+    """Per-op DRAM classification for one (trace, capacity) pair.
+
+    ``wait_s`` excludes the part-specific timing — it is filled in by
+    :meth:`waits_for` because different rows of a sweep could in principle
+    use different DRAM parts (the classification itself is part-agnostic).
+    """
+
+    __slots__ = ("capacity_blocks", "hit_counts", "miss_counts",
+                 "miss_flat", "miss_off")
+
+    def __init__(self, capacity_blocks: int, hit_counts, miss_counts,
+                 miss_flat, miss_off) -> None:
+        self.capacity_blocks = capacity_blocks
+        self.hit_counts = hit_counts
+        self.miss_counts = miss_counts
+        self.miss_flat = miss_flat
+        self.miss_off = miss_off
+
+    def miss_blocks(self, index: int) -> list[int]:
+        """Miss block identities of read op ``index`` (rarely needed)."""
+        lo, hi = self.miss_off[index], self.miss_off[index + 1]
+        return self.miss_flat[lo:hi].tolist()
+
+    def waits_for(self, ops: OpArrays, spec: "MemorySpec",
+                  block_bytes: int) -> np.ndarray:
+        """Per-op DRAM wait (seconds) for the given memory part.
+
+        Reads wait on the hit footprint, writes on their full size, and
+        deletes never wait — mirroring ``BufferCache.access_time`` call
+        sites in :class:`~repro.core.layers.DramLayer`.
+        """
+        latency = spec.access_latency_s
+        bandwidth = spec.bandwidth_bps
+        wait = np.zeros(ops.n_ops, dtype=np.float64)
+        is_read = ops.kind == READ
+        hit_bytes = self.hit_counts * block_bytes
+        np.divide(hit_bytes, bandwidth, out=wait, where=is_read & (hit_bytes > 0))
+        wait[is_read & (hit_bytes > 0)] += latency
+        is_write = ~is_read & (ops.kind != DELETE)
+        sized = is_write & (ops.size > 0)
+        wait[sized] = latency + ops.size[sized] / bandwidth
+        return wait
+
+
+def classify(trace: "Trace", compiled: "CompiledOps",
+             capacity_blocks: int) -> DramPlan:
+    """The LRU classification of ``trace`` at ``capacity_blocks``, cached."""
+    plans = getattr(trace, _CACHE_ATTR, None)
+    if plans is None:
+        plans = {}
+        setattr(trace, _CACHE_ATTR, plans)
+    plan = plans.get(capacity_blocks)
+    if plan is None:
+        plan = _classify(compiled, capacity_blocks)
+        plans[capacity_blocks] = plan
+    return plan
+
+
+def _classify(compiled: "CompiledOps", capacity_blocks: int) -> DramPlan:
+    from repro.core.request import RequestKind
+
+    read_kind = RequestKind.READ
+    delete_kind = RequestKind.DELETE
+    n_ops = compiled.n_ops
+    hit_counts = np.zeros(n_ops, dtype=np.int32)
+    miss_counts = np.zeros(n_ops, dtype=np.int32)
+    miss_list: list[int] = []
+    miss_off = np.zeros(n_ops + 1, dtype=np.int64)
+
+    # One OrderedDict stands in for LruPolicy: membership = resident,
+    # move_to_end = touch, popitem(last=False) = evict.
+    order: OrderedDict[int, None] = OrderedDict()
+    move_to_end = order.move_to_end
+    popitem = order.popitem
+    pop = order.pop
+    append_miss = miss_list.append
+    kinds = compiled.kinds
+    all_blocks = compiled.blocks
+
+    for i in range(n_ops):
+        kind = kinds[i]
+        blocks = all_blocks[i]
+        if kind is read_kind:
+            hits = 0
+            misses = 0
+            for block in blocks:
+                if block in order:
+                    move_to_end(block)
+                    hits += 1
+                else:
+                    misses += 1
+                    append_miss(block)
+            hit_counts[i] = hits
+            miss_counts[i] = misses
+            if misses:
+                # install(misses): each is new; evict down to capacity.
+                start = len(miss_list) - misses
+                for block in miss_list[start:]:
+                    while len(order) >= capacity_blocks:
+                        popitem(last=False)
+                    order[block] = None
+        elif kind is delete_kind:
+            for block in blocks:
+                pop(block, None)
+        else:  # WRITE: install(blocks)
+            for block in blocks:
+                if block in order:
+                    move_to_end(block)
+                else:
+                    while len(order) >= capacity_blocks:
+                        popitem(last=False)
+                    order[block] = None
+        miss_off[i + 1] = len(miss_list)
+
+    return DramPlan(
+        capacity_blocks,
+        hit_counts,
+        miss_counts,
+        np.asarray(miss_list, dtype=np.int64),
+        miss_off,
+    )

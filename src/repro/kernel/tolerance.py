@@ -1,0 +1,140 @@
+"""Declared numerical tolerances for the vector kernel.
+
+The vector kernel reorders floating-point reductions (``cumsum`` /
+``maximum.accumulate`` recurrences instead of sequential accumulation,
+``np.mean`` instead of Welford's algorithm, one standby-power product
+instead of per-operation slices).  Those reassociations change results in
+the last few ulps, so vector-vs-reference equivalence is defined *per
+metric* here rather than as bit equality:
+
+* **counts** (operations, deletes, device reads/writes, spin-ups,
+  segments cleaned, ...) are discrete events and must match exactly;
+* **energies, durations, response means/maxima/deviations** must agree to
+  ``REL_TOL`` relative (with ``ABS_TOL`` absolute floor for values near
+  zero);
+* **percentiles** are compared only while the reference's reservoir is
+  exact (``count <= 4096``); beyond that the reference reports a seeded
+  random-sample estimate while the vector kernel reports the exact
+  quantile, so the two are documented as intentionally different
+  estimators of the same distribution.
+
+One caveat worth naming: the disk kernel's spin-down trigger compares
+``arrival > completion + timeout`` where ``completion`` carries cumsum
+rounding.  An arrival landing within ulps of the deadline could flip an
+episode between the two paths; trace timestamps are coarse relative to the
+5 s timeout, so the golden sweep pins that this never happens on the
+shipped workloads.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+#: Relative tolerance for accumulated floating-point quantities.
+REL_TOL = 1e-8
+
+#: Absolute floor for quantities that can be exactly zero.
+ABS_TOL = 1e-12
+
+#: Reservoir size above which reference percentiles become estimates
+#: (mirrors ``repro.core.metrics._RESERVOIR_SIZE``).
+PERCENTILE_EXACT_LIMIT = 4096
+
+#: Response-stat fields compared exactly (discrete) vs within tolerance.
+_RESPONSE_EXACT = ("count",)
+_RESPONSE_CLOSE = ("mean_s", "max_s", "std_s")
+_RESPONSE_PERCENTILES = ("p50_s", "p95_s", "p99_s")
+
+#: device_stats keys that are discrete counters (exact match).
+_COUNTER_KEYS = frozenset(
+    {
+        "reads", "writes", "bytes_read", "bytes_written",
+        "spin_ups", "spin_downs",
+        "pre_erased_sector_writes", "coupled_sector_writes",
+        "background_erasures", "dirty_sectors", "free_sectors",
+        "segments_cleaned", "blocks_copied", "stalled_writes",
+        "erased_segments",
+    }
+)
+
+
+def close(a: float, b: float, rel: float = REL_TOL, abs_: float = ABS_TOL) -> bool:
+    """True when ``a`` and ``b`` agree within the declared tolerance."""
+    return math.isclose(a, b, rel_tol=rel, abs_tol=abs_)
+
+
+def compare_results(reference, vector) -> list[str]:
+    """Compare two :class:`~repro.core.results.SimulationResult` objects
+    under the declared per-metric tolerances.
+
+    Returns a list of human-readable mismatch descriptions (empty when the
+    results are equivalent).  ``reference`` is the per-op/batched result,
+    ``vector`` the kernel result.
+    """
+    problems: list[str] = []
+
+    def check(label: str, a: Any, b: Any, exact: bool = False) -> None:
+        if exact:
+            if a != b:
+                problems.append(f"{label}: {a!r} != {b!r} (exact)")
+        elif not close(float(a), float(b)):
+            problems.append(f"{label}: {a!r} vs {b!r} (tol {REL_TOL})")
+
+    check("n_reads", reference.n_reads, vector.n_reads, exact=True)
+    check("n_writes", reference.n_writes, vector.n_writes, exact=True)
+    check("n_deletes", reference.n_deletes, vector.n_deletes, exact=True)
+    check("duration_s", reference.duration_s, vector.duration_s)
+    check("energy_j", reference.energy_j, vector.energy_j)
+
+    for component, buckets in reference.energy_breakdown.items():
+        other = vector.energy_breakdown.get(component)
+        if other is None:
+            problems.append(f"energy_breakdown missing component {component!r}")
+            continue
+        for bucket, joules in buckets.items():
+            check(f"energy[{component}][{bucket}]", joules, other.get(bucket, 0.0))
+
+    for name in ("read_response", "write_response", "overall_response"):
+        ref_stats = getattr(reference, name)
+        vec_stats = getattr(vector, name)
+        for field in _RESPONSE_EXACT:
+            check(f"{name}.{field}", getattr(ref_stats, field),
+                  getattr(vec_stats, field), exact=True)
+        for field in _RESPONSE_CLOSE:
+            check(f"{name}.{field}", getattr(ref_stats, field),
+                  getattr(vec_stats, field))
+        if ref_stats.count <= PERCENTILE_EXACT_LIMIT:
+            for field in _RESPONSE_PERCENTILES:
+                check(f"{name}.{field}", getattr(ref_stats, field),
+                      getattr(vec_stats, field))
+
+    if (reference.dram_hit_rate is None) != (vector.dram_hit_rate is None):
+        problems.append("dram_hit_rate presence differs")
+    elif reference.dram_hit_rate is not None:
+        check("dram_hit_rate", reference.dram_hit_rate, vector.dram_hit_rate)
+
+    for key, value in reference.device_stats.items():
+        other = vector.device_stats.get(key)
+        if other is None:
+            problems.append(f"device_stats missing key {key!r}")
+        else:
+            check(f"device_stats[{key}]", value, other, exact=key in _COUNTER_KEYS)
+
+    for layer, cost in reference.layer_breakdown.items():
+        other = vector.layer_breakdown.get(layer)
+        if other is None:
+            problems.append(f"layer_breakdown missing layer {layer!r}")
+            continue
+        check(f"layer[{layer}].latency_s", cost["latency_s"], other["latency_s"])
+        check(f"layer[{layer}].energy_j", cost["energy_j"], other["energy_j"])
+
+    if (reference.wear is None) != (vector.wear is None):
+        problems.append("wear presence differs")
+    elif reference.wear is not None:
+        check("wear.total_erasures", reference.wear.total_erasures,
+              vector.wear.total_erasures, exact=True)
+        check("wear.max_erasures", reference.wear.max_erasures,
+              vector.wear.max_erasures, exact=True)
+
+    return problems

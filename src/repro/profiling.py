@@ -16,6 +16,13 @@ where ``core`` vs. ``devices`` vs. ``traces`` attribution comes from.
 Per-device-model time shows up as the ``devices.*``/``flash.*`` module
 rows (one module per device model).
 
+``--kernel`` profiles the experiment under a named simulation kernel
+(``reference`` | ``batched`` | ``vector``).  When the selection differs
+from the default, the harness profiles the default ``batched`` kernel
+too and emits a ``comparison`` section: warm-run speedup plus the
+per-subpackage own-time delta, which is where "the vector kernel moved
+device time into numpy" shows up.
+
 The report is printed human-readably and can be written as a JSON
 artifact whose schema is stable across commits, so two artifacts diff
 meaningfully in CI.
@@ -31,10 +38,11 @@ import pstats
 import sys
 import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 #: JSON schema version for the emitted artifact.
-SCHEMA = 1
+#: v2 adds ``kernel`` and the optional ``comparison`` section.
+SCHEMA = 2
 
 
 def _module_of(filename: str) -> str | None:
@@ -51,19 +59,8 @@ def _module_of(filename: str) -> str | None:
     return ".".join(inside)
 
 
-def profile_experiment(
-    experiment_id: str,
-    scale: float = 0.1,
-    seed: int | None = None,
-    top: int = 15,
-) -> dict[str, Any]:
-    """Profile one experiment driver; returns the JSON-ready report."""
-    from repro import __version__
-    from repro.experiments.runner import run_experiment
-
-    def run() -> None:
-        run_experiment(experiment_id, scale=scale, seed=seed)
-
+def _profile_pass(run: Callable[[], None], top: int) -> dict[str, Any]:
+    """Cold + warm + profiled executions of ``run``; aggregated stats."""
     phases: dict[str, float] = {}
 
     start = time.perf_counter_ns()
@@ -116,13 +113,6 @@ def profile_experiment(
         ]
 
     return {
-        "schema": SCHEMA,
-        "experiment": experiment_id,
-        "scale": scale,
-        "seed": seed,
-        "repro_version": __version__,
-        "python": platform.python_version(),
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "phases": phases,
         "total_profile_s": total_tt,
         "layers": share_table(groups),
@@ -131,11 +121,87 @@ def profile_experiment(
     }
 
 
+def _compare_layers(
+    baseline: dict[str, Any], candidate: dict[str, Any]
+) -> list[dict[str, Any]]:
+    """Per-subpackage own-time delta between two profile passes."""
+    base = {row["name"]: row["tottime_s"] for row in baseline["layers"]}
+    cand = {row["name"]: row["tottime_s"] for row in candidate["layers"]}
+    rows = []
+    for name in sorted(set(base) | set(cand)):
+        base_s = base.get(name, 0.0)
+        cand_s = cand.get(name, 0.0)
+        rows.append(
+            {
+                "name": name,
+                "baseline_s": base_s,
+                "kernel_s": cand_s,
+                "delta_s": cand_s - base_s,
+                "speedup": (base_s / cand_s) if cand_s > 0 else None,
+            }
+        )
+    rows.sort(key=lambda row: row["baseline_s"], reverse=True)
+    return rows
+
+
+def profile_experiment(
+    experiment_id: str,
+    scale: float = 0.1,
+    seed: int | None = None,
+    top: int = 15,
+    kernel: str | None = None,
+) -> dict[str, Any]:
+    """Profile one experiment driver; returns the JSON-ready report.
+
+    With ``kernel`` set to a non-default kernel, a second baseline pass
+    under the default kernel is profiled and the report gains a
+    ``comparison`` section (warm-run speedup, per-subpackage deltas).
+    """
+    from repro import __version__
+    from repro.experiments.runner import run_experiment
+    from repro.kernel import DEFAULT_KERNEL, validate_kernel
+
+    if kernel is not None:
+        validate_kernel(kernel)
+
+    def runner(selected: str | None) -> Callable[[], None]:
+        def run() -> None:
+            run_experiment(experiment_id, scale=scale, seed=seed,
+                           kernel=selected)
+
+        return run
+
+    report: dict[str, Any] = {
+        "schema": SCHEMA,
+        "experiment": experiment_id,
+        "scale": scale,
+        "seed": seed,
+        "kernel": kernel if kernel is not None else DEFAULT_KERNEL,
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    report.update(_profile_pass(runner(kernel), top))
+
+    if kernel is not None and kernel != DEFAULT_KERNEL:
+        baseline = _profile_pass(runner(DEFAULT_KERNEL), top)
+        warm = report["phases"]["warm_run_s"]
+        base_warm = baseline["phases"]["warm_run_s"]
+        report["comparison"] = {
+            "baseline_kernel": DEFAULT_KERNEL,
+            "baseline_phases": baseline["phases"],
+            "warm_speedup": (base_warm / warm) if warm > 0 else None,
+            "layers": _compare_layers(baseline, report),
+        }
+    return report
+
+
 def render_report(report: dict[str, Any], top: int = 15) -> str:
     """A human-readable rendering of :func:`profile_experiment`'s output."""
     lines = [
         f"profile of {report['experiment']!r} "
         f"(scale {report['scale']:g}, seed {report['seed']}, "
+        f"kernel {report.get('kernel', 'batched')}, "
         f"repro {report['repro_version']}, python {report['python']})",
         "",
         "phases",
@@ -162,6 +228,26 @@ def render_report(report: dict[str, Any], top: int = 15) -> str:
             f"  {row['tottime_s']:8.3f} s  {row['ncalls']:>9} calls  "
             f"{row['function']} ({where})"
         )
+    comparison = report.get("comparison")
+    if comparison:
+        lines.append("")
+        speedup = comparison.get("warm_speedup")
+        lines.append(
+            f"comparison vs {comparison['baseline_kernel']} kernel "
+            f"(warm run {speedup:.2f}x)" if speedup is not None else
+            f"comparison vs {comparison['baseline_kernel']} kernel"
+        )
+        lines.append(
+            f"  {'subpackage':24s} {'baseline':>10s} {'kernel':>10s} "
+            f"{'delta':>10s} {'speedup':>8s}"
+        )
+        for row in comparison["layers"]:
+            speed = row["speedup"]
+            speed_text = f"{speed:7.1f}x" if speed is not None else "      --"
+            lines.append(
+                f"  {row['name']:24s} {row['baseline_s']:9.3f}s "
+                f"{row['kernel_s']:9.3f}s {row['delta_s']:+9.3f}s {speed_text}"
+            )
     return "\n".join(lines)
 
 
@@ -187,13 +273,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="trace-generation seed (default: module default)")
     parser.add_argument("--top", type=int, default=15,
                         help="rows in the per-function table (default 15)")
+    parser.add_argument("--kernel", choices=("reference", "batched", "vector"),
+                        default=None,
+                        help="simulation kernel to profile; a non-default "
+                        "choice also profiles the batched baseline and "
+                        "reports the per-subpackage speedup delta")
     parser.add_argument("-o", "--output", default=None, metavar="PATH",
                         help="also write the report as a JSON artifact")
     args = parser.parse_args(argv)
 
     try:
         report = profile_experiment(
-            args.experiment_id, scale=args.scale, seed=args.seed, top=args.top
+            args.experiment_id, scale=args.scale, seed=args.seed,
+            top=args.top, kernel=args.kernel,
         )
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -1,0 +1,165 @@
+"""The vector kernel is an *engine*, not a behaviour.
+
+Three contracts pinned here:
+
+1. **Vector vs reference, within declared tolerance** — across the
+   paper's workloads, one device per class, and a Hypothesis sweep of
+   seeds/lengths inside the vector envelope,
+   :func:`repro.kernel.tolerance.compare_results` must report zero
+   mismatches.  The test also asserts the vector path actually ran
+   (``extra["kernel"] == "vector"``, no silent fallback) — a sweep that
+   quietly compared batched against batched would prove nothing.
+2. **Reference path vs golden, bit-for-bit** — ``kernel="reference"``
+   must still reproduce ``tests/golden/equivalence_golden.json``
+   (``float.hex()`` equality).  The State/Model device split and the
+   kernel dispatch layer both sit on this path; neither may move a bit.
+3. **Cross-kernel cache identity** — a unit's kernel is part of its
+   cache key, so a vector result can never replay for a batched (or
+   default) request, and vice versa.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SimulationConfig
+from repro.core.simulator import simulate
+from repro.engine import ResultCache, WorkUnit, cache_key, execute
+from repro.kernel.tolerance import compare_results
+from repro.traces.synthetic import SyntheticWorkload
+from repro.traces.workloads import workload_by_name
+from tests.golden.generate_equivalence_golden import (
+    DEVICES,
+    WORKLOADS,
+    hexify,
+    response_record,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "equivalence_golden.json"
+
+
+def _trace(workload: str, n_ops: int, seed: int):
+    if workload == "synth":
+        return SyntheticWorkload().generate(n_ops=n_ops, seed=seed)
+    return workload_by_name(workload).generate(seed=seed, n_ops=n_ops)
+
+
+def _envelope_config(device: str, **kwargs) -> SimulationConfig:
+    """A config inside the vector envelope for ``device``.
+
+    The SDP5A datasheet advertises decoupled erasure, which only the
+    event path models; the envelope covers its coupled mode.
+    """
+    if device == "sdp5a-datasheet":
+        kwargs.setdefault("async_erase", False)
+    return SimulationConfig(device=device, **kwargs)
+
+
+def _pair(trace, config):
+    """(reference result, vector result) — vector must not fall back."""
+    reference = simulate(trace, config, kernel="reference")
+    vector = simulate(trace, config, kernel="vector")
+    assert vector.extra.get("kernel") == "vector", (
+        f"vector fell back: {vector.extra.get('kernel_fallback_reason')}"
+    )
+    return reference, vector
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("device", DEVICES)
+def test_vector_matches_reference(workload, device):
+    """4 workloads x 3 device families: zero tolerance violations."""
+    trace = _trace(workload, n_ops=800, seed=7)
+    reference, vector = _pair(trace, _envelope_config(device))
+    assert compare_results(reference, vector) == []
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    workload=st.sampled_from(WORKLOADS),
+    device=st.sampled_from(DEVICES),
+    seed=st.integers(min_value=0, max_value=2**16),
+    n_ops=st.integers(min_value=50, max_value=400),
+)
+def test_vector_matches_reference_property(workload, device, seed, n_ops):
+    """No seed or trace length inside the envelope may separate them."""
+    trace = _trace(workload, n_ops=n_ops, seed=seed)
+    reference, vector = _pair(trace, _envelope_config(device))
+    assert compare_results(reference, vector) == []
+
+
+def test_vector_falls_back_outside_envelope():
+    """Outside the envelope the result is the batched answer, labelled."""
+    trace = _trace("mac", n_ops=200, seed=1)
+    config = SimulationConfig(device="intel-datasheet",
+                              cleaning_policy="cost-benefit")
+    result = simulate(trace, config, kernel="vector")
+    assert result.extra["kernel"] == "batched"
+    assert result.extra["kernel_requested"] == "vector"
+    assert "cost-benefit" in result.extra["kernel_fallback_reason"]
+    batched = simulate(trace, config)
+    assert result.energy_j == batched.energy_j
+    assert result.duration_s == batched.duration_s
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    return json.loads(GOLDEN.read_text())
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("device", DEVICES)
+def test_reference_kernel_is_bit_identical_to_golden(golden, workload, device):
+    """``kernel="reference"`` still reproduces the pinned fixture."""
+    expected = golden["cases"][f"{workload}/{device}"]
+    trace = _trace(workload, n_ops=golden["n_ops"], seed=golden["seed"])
+    result = simulate(trace, SimulationConfig(device=device),
+                      kernel="reference")
+    observed = {
+        "trace_name": result.trace_name,
+        "device_name": result.device_name,
+        "duration_s": hexify(result.duration_s),
+        "energy_j": hexify(result.energy_j),
+        "energy_breakdown": hexify(result.energy_breakdown),
+        "read": response_record(result.read_response),
+        "write": response_record(result.write_response),
+        "overall": response_record(result.overall_response),
+        "n_reads": result.n_reads,
+        "n_writes": result.n_writes,
+        "n_deletes": result.n_deletes,
+        "dram_hit_rate": hexify(result.dram_hit_rate),
+        "device_stats": hexify(result.device_stats),
+    }
+    for key, value in expected.items():
+        assert observed[key] == value, (
+            f"{workload}/{device}: {key!r} diverged from golden"
+        )
+
+
+class TestCrossKernelCache:
+    def test_kernel_is_part_of_the_cache_key(self):
+        keys = {
+            kernel: cache_key(WorkUnit("table4", 0.05, kernel=kernel))
+            for kernel in (None, "reference", "batched", "vector")
+        }
+        assert len(set(keys.values())) == len(keys)
+
+    def test_vector_result_never_replays_for_batched(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        vector_unit = WorkUnit("table2", 0.02, kernel="vector")
+        first = execute([vector_unit], jobs=1, cache=cache)
+        assert first[0].cache == "miss" and first[0].ok
+
+        batched_unit = WorkUnit("table2", 0.02, kernel="batched")
+        crossed = execute([batched_unit], jobs=1, cache=cache)
+        assert crossed[0].cache == "miss" and crossed[0].ok
+
+        replay = execute([WorkUnit("table2", 0.02, kernel="vector")],
+                         jobs=1, cache=cache)
+        assert replay[0].cache == "hit"
+        assert replay[0].result.render() == first[0].result.render()
