@@ -1,0 +1,155 @@
+"""Fleet throughput benchmark: reference vs fast path, devices/sec.
+
+Runs the same fleet spec through ``run_fleet`` twice — the reference
+per-device path and the vectorized fast path — and writes the measured
+rates and speedup to ``BENCH_fleet.json``.  Optionally (``--verify``)
+checks the two population summaries against the declared equivalence
+contract (:mod:`repro.fleet.contract`) and records the verdict in the
+artifact; any violation fails the run.
+
+The reference path can be measured on a *subset* of the fleet
+(``--ref-devices``, default capped at 8192) because devices/sec is a
+rate and the reference path is linear in devices — benchmarking the
+reference at 100k devices costs ~10 minutes for the same answer.  The
+subsetting is never silent: the artifact records exactly what ran, and
+``--ref-devices 0`` forces the full fleet through the reference path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/fleet_throughput.py \
+        --devices 100000 --verify --output BENCH_fleet.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+#: Reference-path measurement cap (devices) unless --ref-devices says
+#: otherwise.  ~45 s of reference simulation; plenty for a stable rate.
+DEFAULT_REF_CAP = 8192
+
+#: The acceptance floor the CI job holds the measured speedup to.
+SPEEDUP_FLOOR = 10.0
+
+
+def measure(spec, *, jobs: int, fast: bool) -> dict:
+    from repro.fleet import run_fleet
+
+    started = time.perf_counter()
+    run = run_fleet(spec, jobs=jobs, fast=fast)
+    wall = time.perf_counter() - started
+    if not run.ok:
+        errors = [o.error for o in run.outcomes if not o.ok]
+        raise RuntimeError(f"fleet run failed: {errors[:3]}")
+    return {
+        "devices": spec.devices,
+        "wall_s": round(wall, 3),
+        "devices_per_s": round(spec.devices / wall, 1),
+        "shards": run.shards,
+        "jobs": run.jobs,
+        "summary": run.summary,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--devices", type=int, default=100_000,
+                        help="fleet size for the fast path (default 100000)")
+    parser.add_argument("--ref-devices", type=int, default=None,
+                        help="fleet size for the reference path (default "
+                        f"min(devices, {DEFAULT_REF_CAP}); 0 = full fleet)")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--ops", type=int, default=400)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for both paths (default 1: "
+                        "single-process rates, the honest comparison)")
+    parser.add_argument("--verify", action="store_true",
+                        help="check fast vs reference population summaries "
+                        "against the repro.fleet.contract tolerances "
+                        "(compared on the reference-sized fleet)")
+    parser.add_argument("--floor", type=float, default=SPEEDUP_FLOOR,
+                        help=f"fail below this speedup (default "
+                        f"{SPEEDUP_FLOOR}x; 0 disables)")
+    parser.add_argument("--output", default="BENCH_fleet.json")
+    args = parser.parse_args(argv)
+
+    from repro.fleet import FleetSpec, compare_summaries
+
+    ref_devices = args.ref_devices
+    if ref_devices is None:
+        ref_devices = min(args.devices, DEFAULT_REF_CAP)
+    elif ref_devices == 0:
+        ref_devices = args.devices
+    if ref_devices < args.devices:
+        print(f"reference path measured on {ref_devices} of "
+              f"{args.devices} devices (rate-based comparison; "
+              f"--ref-devices 0 forces the full fleet)", file=sys.stderr)
+
+    fast_spec = FleetSpec(devices=args.devices, seed=args.seed,
+                          scale=args.scale, ops_per_device=args.ops)
+    ref_spec = FleetSpec(devices=ref_devices, seed=args.seed,
+                         scale=args.scale, ops_per_device=args.ops)
+
+    print(f"fast path: {args.devices} devices ...", file=sys.stderr)
+    fast = measure(fast_spec, jobs=args.jobs, fast=True)
+    print(f"  {fast['devices_per_s']} devices/sec ({fast['wall_s']}s)",
+          file=sys.stderr)
+    print(f"reference path: {ref_devices} devices ...", file=sys.stderr)
+    reference = measure(ref_spec, jobs=args.jobs, fast=False)
+    print(f"  {reference['devices_per_s']} devices/sec "
+          f"({reference['wall_s']}s)", file=sys.stderr)
+
+    speedup = fast["devices_per_s"] / reference["devices_per_s"]
+    print(f"speedup: {speedup:.1f}x", file=sys.stderr)
+
+    violations: list[str] | None = None
+    if args.verify:
+        if ref_devices == args.devices:
+            fast_summary = fast["summary"]
+        else:
+            # Contract comparison needs matching fleets: re-run the fast
+            # path at the reference size (seconds, not minutes).
+            fast_summary = measure(ref_spec, jobs=args.jobs,
+                                   fast=True)["summary"]
+        violations = compare_summaries(reference["summary"], fast_summary)
+        verdict = "ok" if not violations else "CONTRACT VIOLATED"
+        print(f"equivalence contract ({ref_devices} devices): {verdict}",
+              file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+
+    document = {
+        "spec": {"seed": args.seed, "scale": args.scale, "ops": args.ops,
+                 "jobs": args.jobs},
+        "fast": {k: fast[k] for k in
+                 ("devices", "wall_s", "devices_per_s", "shards")},
+        "reference": {k: reference[k] for k in
+                      ("devices", "wall_s", "devices_per_s", "shards")},
+        "speedup": round(speedup, 2),
+        "floor": args.floor,
+        "contract": (None if violations is None
+                     else {"devices": ref_devices,
+                           "ok": not violations,
+                           "violations": violations}),
+    }
+    Path(args.output).write_text(
+        json.dumps(document, indent=1, sort_keys=True) + "\n"
+    )
+    print(f"wrote {args.output}", file=sys.stderr)
+
+    if violations:
+        return 1
+    if args.floor and speedup < args.floor:
+        print(f"FAIL: speedup {speedup:.1f}x below the {args.floor}x floor",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,6 +74,13 @@ VECTOR_SPEEDUP_FLOOR = 4.0
 VECTOR_SCALE = 0.2
 VECTOR_REPEATS = 3
 
+#: Minimum fleet reference/fast speedup at ``FLEET_DEVICES`` (the
+#: acceptance floor; at 100k devices the measured speedup is higher —
+#: see BENCH_fleet.json, refreshed by benchmarks/fleet_throughput.py).
+FLEET_SPEEDUP_FLOOR = 10.0
+FLEET_DEVICES = 512
+FLEET_REPEATS = 2
+
 
 def _best(fn, repeats: int = REPEATS) -> float:
     """Best-of-N wall time: the minimum is the least-noisy estimator."""
@@ -156,6 +163,24 @@ def measure_table4_kernels(
         "vector_s": vector,
         "speedup": batched / vector,
         "scale": scale,
+    }
+
+
+def measure_fleet_fast(
+    devices: int = FLEET_DEVICES, repeats: int = FLEET_REPEATS
+) -> dict[str, float]:
+    """Best-of-N wall time for one fleet under both population paths."""
+    from repro.fleet import FleetSpec, run_fleet
+
+    spec = FleetSpec(devices=devices, seed=11, scale=0.1,
+                     ops_per_device=400)
+    reference = _best(lambda: run_fleet(spec, jobs=1), repeats)
+    fast = _best(lambda: run_fleet(spec, jobs=1, fast=True), repeats)
+    return {
+        "reference_s": reference,
+        "fast_s": fast,
+        "speedup": reference / fast,
+        "devices": devices,
     }
 
 
@@ -278,6 +303,19 @@ def main(argv: list[str] | None = None) -> int:
     print(f"{'table4_vector':16s} batched {kernels['batched_s']:7.3f}s "
           f"vector {kernels['vector_s']:7.3f}s  "
           f"speedup {speedup:5.2f}x  floor {VECTOR_SPEEDUP_FLOOR:4.2f}x  "
+          f"{verdict}")
+
+    # The fleet fast path carries the same kind of budget: a speedup
+    # floor over the reference population path, re-measured on breach.
+    fleet = measure_fleet_fast()
+    fleet_speedup = fleet["speedup"]
+    if fleet_speedup < FLEET_SPEEDUP_FLOOR:
+        fleet_speedup = max(fleet_speedup, measure_fleet_fast()["speedup"])
+    verdict = "ok" if fleet_speedup >= FLEET_SPEEDUP_FLOOR else "FAIL"
+    failed = failed or fleet_speedup < FLEET_SPEEDUP_FLOOR
+    print(f"{'fleet_fast':16s} reference {fleet['reference_s']:5.3f}s "
+          f"fast {fleet['fast_s']:7.3f}s  "
+          f"speedup {fleet_speedup:5.2f}x  floor {FLEET_SPEEDUP_FLOOR:4.2f}x  "
           f"{verdict}")
     if failed:
         print("perf guard FAILED: the request path exceeds its budget")

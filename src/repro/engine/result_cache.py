@@ -35,9 +35,25 @@ def default_cache_dir() -> Path:
     return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)).expanduser()
 
 
+def _columns_to_json(columns: Any) -> Any:
+    """Columnar payloads as JSON-native lists (NumPy arrays → ``tolist``).
+
+    JSON round-trips int and float exactly (``repr``-based), so a summary
+    aggregated from replayed columns is byte-identical to one aggregated
+    from the freshly computed arrays; NaN (a fleet column's "metric not
+    applicable") survives via Python's permissive JSON dialect.
+    """
+    if columns is None:
+        return None
+    return {
+        name: value.tolist() if hasattr(value, "tolist") else value
+        for name, value in columns.items()
+    }
+
+
 def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
     """Serialise an :class:`ExperimentResult` to JSON-native structures."""
-    return {
+    payload = {
         "experiment_id": result.experiment_id,
         "title": result.title,
         "scale": result.scale,
@@ -52,6 +68,9 @@ def result_to_dict(result: ExperimentResult) -> dict[str, Any]:
             for table in result.tables
         ],
     }
+    if result.columns is not None:
+        payload["columns"] = _columns_to_json(result.columns)
+    return payload
 
 
 def result_from_dict(payload: dict[str, Any]) -> ExperimentResult:
@@ -62,6 +81,7 @@ def result_from_dict(payload: dict[str, Any]) -> ExperimentResult:
         scale=payload["scale"],
         notes=tuple(payload["notes"]),
         charts=tuple(payload["charts"]),
+        columns=payload.get("columns"),
         tables=tuple(
             Table(
                 title=table["title"],

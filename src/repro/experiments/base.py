@@ -85,6 +85,12 @@ class ExperimentResult:
     #: machine-facing failure detail (e.g. inspect's attribution-mismatch
     #: diff) — excluded from render(); the CLI routes these to stderr
     diagnostics: tuple[str, ...] = ()
+    #: optional packed columnar payload (``{"schema": int, name: column}``,
+    #: numeric columns as NumPy arrays or lists) carried *alongside* the
+    #: human tables — fleet shards use it so the parent can aggregate by
+    #: array merge instead of re-parsing table cells.  Excluded from
+    #: render(); survives the result cache as JSON lists.
+    columns: Any = None
 
     def render(self) -> str:
         """Human-readable report: all tables, charts, then notes."""

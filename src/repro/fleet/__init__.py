@@ -19,12 +19,17 @@ service accepts the same fleets over HTTP (``python -m repro serve``).
 """
 
 from repro.fleet.aggregate import (
+    aggregate_columns,
     aggregate_rows,
     canonical_json,
     exact_quantile,
+    merge_columns,
+    pack_columns,
     population_summary,
+    population_summary_from_columns,
     summary_table,
 )
+from repro.fleet.contract import compare_summaries
 from repro.fleet.population import (
     DeviceSample,
     FleetSpec,
@@ -40,10 +45,18 @@ from repro.fleet.population import (
 # ``from repro.fleet import run_fleet`` working.
 _RUNNER_EXPORTS = (
     "FleetRun",
+    "MAX_SHARD_DEVICES",
     "decompose_fleet",
     "default_shards",
     "rows_from_result",
     "run_fleet",
+)
+
+#: Fast-path symbols live in repro.fleet.synth (NumPy array programs);
+#: loaded lazily so the row path never pays the import.
+_SYNTH_EXPORTS = (
+    "sample_device_batch",
+    "simulate_shard_fast",
 )
 
 
@@ -52,6 +65,10 @@ def __getattr__(name: str):
         from repro.fleet import runner
 
         return getattr(runner, name)
+    if name in _SYNTH_EXPORTS:
+        from repro.fleet import synth
+
+        return getattr(synth, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -59,17 +76,25 @@ __all__ = [
     "DeviceSample",
     "FleetRun",
     "FleetSpec",
+    "MAX_SHARD_DEVICES",
+    "aggregate_columns",
     "aggregate_rows",
     "canonical_json",
+    "compare_summaries",
     "decompose_fleet",
     "default_shards",
     "device_seed",
     "exact_quantile",
+    "merge_columns",
+    "pack_columns",
     "population_summary",
+    "population_summary_from_columns",
     "rows_from_result",
     "run_fleet",
     "sample_device",
+    "sample_device_batch",
     "sample_devices",
     "simulate_device",
+    "simulate_shard_fast",
     "summary_table",
 ]

@@ -19,6 +19,8 @@ import json
 import math
 from typing import Any, Iterable
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.experiments.base import Table
 from repro.fleet.population import METRIC_FIELDS, FleetSpec
@@ -102,6 +104,156 @@ def aggregate_rows(rows: list[dict[str, Any]]) -> dict[str, Any]:
         "device_specs": specs,
         "metrics": metrics,
     }
+
+
+# -- columnar shard transport ------------------------------------------
+#
+# A shard's per-device results as one typed column per METRIC_FIELDS
+# entry (float64, NaN = "not applicable") plus int64 device/ops columns
+# and small-int category codes with a string legend.  The parent merges
+# shards by array concatenation and aggregates the merged columns — the
+# IPC payload and the aggregation loop are O(columns), not O(devices ×
+# Python objects).  ``aggregate_columns`` feeds the *same*
+# ``summarize_values`` as the row path, so a summary computed from
+# columns is byte-identical to one computed from the human table.
+
+#: Version stamp carried in every columnar payload.
+COLUMN_SCHEMA = 1
+
+
+def pack_columns(rows: list[dict[str, Any]]) -> dict[str, Any]:
+    """One shard's rows as the typed columnar payload."""
+    workload_names = sorted({row["workload"] for row in rows})
+    spec_names = sorted({row["spec"] for row in rows})
+    wl_code = {name: code for code, name in enumerate(workload_names)}
+    sp_code = {name: code for code, name in enumerate(spec_names)}
+    columns: dict[str, Any] = {
+        "schema": COLUMN_SCHEMA,
+        "workload_names": workload_names,
+        "spec_names": spec_names,
+        "device": np.array([row["device"] for row in rows], dtype=np.int64),
+        "ops": np.array([row["ops"] for row in rows], dtype=np.int64),
+        "workload": np.array(
+            [wl_code[row["workload"]] for row in rows], dtype=np.int64
+        ),
+        "spec": np.array([sp_code[row["spec"]] for row in rows],
+                         dtype=np.int64),
+    }
+    for metric in METRIC_FIELDS:
+        columns[metric] = np.array(
+            [math.nan if row[metric] is None else float(row[metric])
+             for row in rows],
+            dtype=np.float64,
+        )
+    return columns
+
+
+def merge_columns(parts: list[dict[str, Any]]) -> dict[str, Any]:
+    """Shard payloads → one fleet payload, sorted by device index.
+
+    Category codes are re-based onto the union legend, so shards that
+    saw different workload/spec subsets merge cleanly.  Duplicate device
+    indices mean a shard was double-counted and are an error.
+    """
+    if not parts:
+        raise ConfigurationError("merge_columns needs at least one shard")
+    for part in parts:
+        if part.get("schema") != COLUMN_SCHEMA:
+            raise ConfigurationError(
+                f"unsupported column schema {part.get('schema')!r} "
+                f"(expected {COLUMN_SCHEMA})"
+            )
+    workload_names = sorted({n for p in parts for n in p["workload_names"]})
+    spec_names = sorted({n for p in parts for n in p["spec_names"]})
+
+    def recode(part: dict[str, Any], key: str, union: list[str]) -> np.ndarray:
+        codes = np.asarray(part[key], dtype=np.int64)
+        table = np.array(
+            [union.index(name) for name in part[f"{key}_names"]],
+            dtype=np.int64,
+        )
+        return table[codes] if len(table) else codes
+
+    merged: dict[str, Any] = {
+        "schema": COLUMN_SCHEMA,
+        "workload_names": workload_names,
+        "spec_names": spec_names,
+        "device": np.concatenate(
+            [np.asarray(p["device"], dtype=np.int64) for p in parts]
+        ),
+        "ops": np.concatenate(
+            [np.asarray(p["ops"], dtype=np.int64) for p in parts]
+        ),
+        "workload": np.concatenate(
+            [recode(p, "workload", workload_names) for p in parts]
+        ),
+        "spec": np.concatenate(
+            [recode(p, "spec", spec_names) for p in parts]
+        ),
+    }
+    for metric in METRIC_FIELDS:
+        merged[metric] = np.concatenate(
+            [np.asarray(p[metric], dtype=np.float64) for p in parts]
+        )
+    order = np.argsort(merged["device"], kind="stable")
+    if len(order) != len(np.unique(merged["device"])):
+        raise ConfigurationError("duplicate device rows: shard overlap")
+    for key in ("device", "ops", "workload", "spec", *METRIC_FIELDS):
+        merged[key] = merged[key][order]
+    return merged
+
+
+def aggregate_columns(columns: dict[str, Any]) -> dict[str, Any]:
+    """Population distributions straight from a merged columnar payload.
+
+    Byte-compatible with :func:`aggregate_rows` on the same devices: the
+    per-metric reductions run through the identical
+    :func:`summarize_values`, fed the metric's finite values in device
+    order.
+    """
+    device = np.asarray(columns["device"], dtype=np.int64)
+    if len(device) != len(np.unique(device)):
+        raise ConfigurationError("duplicate device rows: shard overlap")
+    wl_codes = np.asarray(columns["workload"], dtype=np.int64)
+    sp_codes = np.asarray(columns["spec"], dtype=np.int64)
+    workload_names = list(columns["workload_names"])
+    spec_names = list(columns["spec_names"])
+    wl_counts = np.bincount(wl_codes, minlength=len(workload_names))
+    sp_counts = np.bincount(sp_codes, minlength=len(spec_names))
+    metrics = {}
+    for metric in METRIC_FIELDS:
+        values = np.asarray(columns[metric], dtype=np.float64)
+        metrics[metric] = summarize_values(
+            metric, values[~np.isnan(values)].tolist()
+        )
+    return {
+        "devices": int(len(device)),
+        "total_ops": int(np.asarray(columns["ops"], dtype=np.int64).sum()),
+        "workloads": {
+            name: int(count)
+            for name, count in zip(workload_names, wl_counts)
+            if count
+        },
+        "device_specs": {
+            name: int(count)
+            for name, count in zip(spec_names, sp_counts)
+            if count
+        },
+        "metrics": metrics,
+    }
+
+
+def population_summary_from_columns(
+    spec: FleetSpec, parts: list[dict[str, Any]]
+) -> dict[str, Any]:
+    """The canonical summary document, aggregated by array merge."""
+    population = aggregate_columns(merge_columns(parts))
+    if population["devices"] != spec.devices:
+        raise ConfigurationError(
+            f"fleet of {spec.devices} aggregated only "
+            f"{population['devices']} device rows; missing shard?"
+        )
+    return {"fleet": spec.describe(), "population": population}
 
 
 def population_summary(spec: FleetSpec, rows: list[dict[str, Any]]) -> dict[str, Any]:

@@ -90,6 +90,12 @@ def add_parser(subparsers) -> None:
                         help="simulation kernel for every device (default "
                         "batched; vector answers within the documented "
                         "float tolerance)")
+    parser.add_argument("--fast", action="store_true",
+                        help="vectorized fleet fast path: exact device "
+                        "parameters, synthesized traces, batched device "
+                        "math, columnar shard transport; population "
+                        "summaries agree with the reference path within "
+                        "the repro.fleet.contract tolerances (default off)")
 
 
 def cmd_fleet(args) -> int:
@@ -127,11 +133,27 @@ def cmd_fleet(args) -> int:
             f"{cache_root}/manifests/fleet-{stamp}-{os.getpid()}.jsonl"
         )
 
+    progress_started = time.perf_counter()
+    progress_devices = 0
+
     def on_progress(done, total, outcome) -> None:
-        if not args.quiet:
-            status = outcome.cache if outcome.ok else "ERROR"
-            print(f"[{done:3d}/{total}] {outcome.unit.label:52s} "
-                  f"{outcome.wall_s:7.2f}s  {status}", file=sys.stderr)
+        nonlocal progress_devices
+        if args.quiet:
+            return
+        status = outcome.cache if outcome.ok else "ERROR"
+        rate = ""
+        if outcome.ok:
+            from repro.fleet.experiment import shard_indices
+
+            kwargs = dict(outcome.unit.kwargs)
+            progress_devices += len(shard_indices(
+                spec.devices, kwargs["shard"], kwargs["shards"]
+            ))
+            elapsed = time.perf_counter() - progress_started
+            if elapsed > 0:
+                rate = f"  {progress_devices / elapsed:8.0f} dev/s"
+        print(f"[{done:3d}/{total}] {outcome.unit.label:52s} "
+              f"{outcome.wall_s:7.2f}s  {status}{rate}", file=sys.stderr)
 
     started = time.perf_counter()
     with cancel_on_signals() as cancel:
@@ -148,6 +170,7 @@ def cmd_fleet(args) -> int:
                 cancel=cancel,
                 progress=on_progress,
                 kernel=args.kernel,
+                fast=args.fast,
             )
     wall = time.perf_counter() - started
 
@@ -156,7 +179,8 @@ def cmd_fleet(args) -> int:
         print(f"fleet: {spec.devices} device(s) in {run.shards} shard(s) "
               f"over {run.jobs} job(s): {counts['ok']} ok, "
               f"{counts['errors']} failed ({counts['hits']} cache hit(s)) "
-              f"in {wall:.2f}s", file=sys.stderr)
+              f"in {wall:.2f}s ({spec.devices / wall:.0f} devices/sec)",
+              file=sys.stderr)
         print(f"manifest: {manifest_path}", file=sys.stderr)
 
     if run.cancelled:

@@ -1,0 +1,124 @@
+"""The fleet fast path's population-equivalence contract.
+
+The fast path (:mod:`repro.fleet.synth`) is allowed to *reassociate
+per-device sampling* — synthesize traces from the workloads' fitted
+distributions instead of replaying the reference generator op by op —
+as long as population summaries verify against the reference path
+within the tolerances declared here.  This follows the methodology of
+trace synthesis from fitted parameters (Boukhobza & Timsit) and
+distribution-level validation (Al-Maeeni et al.): equivalence is defined
+at the population level, per metric, per summary statistic — never per
+device.
+
+What is EXACT (bit-identical to the reference path, enforced as
+equality):
+
+* device parameters — workload, device spec, trace length, DRAM/SRAM
+  bytes, spin-down timeout, flash utilization all come from a
+  vectorized reimplementation of CPython's Mersenne Twister seeded with
+  the same ``sha256("fleet:<seed>:device:<i>")`` identities, verified
+  word-for-word against ``random.Random`` (see ``fleet/rng.py``);
+* therefore the summary's ``devices``, ``total_ops``, ``workloads``,
+  ``device_specs``, and every metric's ``count`` match exactly;
+* the fast path is shard/jobs/transport/cache-replay-invariant:
+  summaries are byte-identical for any decomposition (covered by tests,
+  not by this module's tolerances).
+
+What is APPROXIMATE (the declared reassociations):
+
+* trace synthesis draws gaps/operations/files/sizes/offsets from
+  counter-keyed streams with the reference's fitted distributions, not
+  the reference draw sequence — per-device traces differ, population
+  distributions agree;
+* interarrival chunk rescaling reproduces the reference's per-device
+  chunk-scale *distribution* (binomial session count over a 4096-draw
+  chunk) rather than its realized chunk;
+* file deletion/recycling (dos) is not modelled — deleted-file skips
+  and block-id recycling perturb a few percent of dos ops;
+* the DRAM cache is classified by touch-distance (an LRU-equivalent
+  window over block touches) instead of a per-block LRU list walk;
+* repeat-run guards (deleted/hot-set checks on "repeat last file") are
+  dropped — measured skip rates are < 0.5% of ops.
+
+The tolerances below were calibrated on 4096-device fleets (scale 0.1,
+400 nominal ops) and carry headroom for seed-to-seed spread; the
+equivalence gate should run at ``MIN_CONTRACT_DEVICES`` or more — below
+that, per-seed sampling noise in the reference path itself dominates
+the comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.fleet.population import METRIC_FIELDS
+
+#: Fleet size the tolerances were calibrated for.  Contract comparisons
+#: on much smaller fleets measure sampling noise, not fast-path bias.
+MIN_CONTRACT_DEVICES = 1024
+
+#: Summary fields that must match the reference exactly.
+EXACT_FIELDS = ("devices", "total_ops", "workloads", "device_specs")
+
+#: Relative tolerance per metric per summary statistic:
+#: |fast - reference| / reference <= tolerance.
+#: Calibrated ratios at 4096 devices (fast/ref): energy mean 1.09,
+#: read mean 0.88 / p90 0.73 (dos spin-up tail is the loosest corner),
+#: write p99 1.20, overall p99 1.16, wear 1.00.
+TOLERANCES: dict[str, dict[str, float]] = {
+    "energy_j": {"mean": 0.20, "p50": 0.15, "p90": 0.25, "p99": 0.30},
+    "read_ms": {"mean": 0.30, "p50": 0.15, "p90": 0.45, "p99": 0.40},
+    "write_ms": {"mean": 0.20, "p50": 0.15, "p90": 0.25, "p99": 0.40},
+    "overall_ms": {"mean": 0.20, "p50": 0.20, "p90": 0.25, "p99": 0.40},
+    "wear_max": {"mean": 0.15, "p50": 0.15, "p90": 0.25, "p99": 0.30},
+}
+
+
+def compare_summaries(
+    reference: dict[str, Any], fast: dict[str, Any]
+) -> list[str]:
+    """Verify a fast-path population summary against the reference's.
+
+    Both arguments are ``population_summary`` documents.  Returns
+    human-readable violation descriptions (empty when the contract
+    holds): exact fields compared as equality, each metric statistic
+    within its declared relative tolerance.
+    """
+    problems: list[str] = []
+    ref_pop = reference["population"]
+    fast_pop = fast["population"]
+
+    for field in EXACT_FIELDS:
+        if ref_pop[field] != fast_pop[field]:
+            problems.append(
+                f"{field}: {fast_pop[field]!r} != {ref_pop[field]!r} (exact)"
+            )
+
+    for metric in METRIC_FIELDS:
+        ref_stats = ref_pop["metrics"][metric]
+        fast_stats = fast_pop["metrics"][metric]
+        if ref_stats["count"] != fast_stats["count"]:
+            problems.append(
+                f"{metric}.count: {fast_stats['count']} != "
+                f"{ref_stats['count']} (exact)"
+            )
+            continue
+        if ref_stats["count"] == 0:
+            continue
+        for stat, tolerance in TOLERANCES[metric].items():
+            ref_value = float(ref_stats[stat])
+            fast_value = float(fast_stats[stat])
+            if ref_value == 0.0:
+                if fast_value != 0.0:
+                    problems.append(
+                        f"{metric}.{stat}: {fast_value} vs reference 0"
+                    )
+                continue
+            deviation = abs(fast_value - ref_value) / abs(ref_value)
+            if deviation > tolerance:
+                problems.append(
+                    f"{metric}.{stat}: fast {fast_value:.6g} vs reference "
+                    f"{ref_value:.6g} — off {deviation:.1%} > "
+                    f"{tolerance:.0%} tolerance"
+                )
+    return problems

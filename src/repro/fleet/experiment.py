@@ -51,9 +51,17 @@ def run(
     shard: int = 0,
     shards: int = 1,
     ops: int = DEFAULT_OPS,
+    fast: bool = False,
 ) -> ExperimentResult:
-    """Simulate shard ``shard``/``shards`` of an ``devices``-strong fleet."""
-    from repro.fleet.aggregate import aggregate_rows
+    """Simulate shard ``shard``/``shards`` of an ``devices``-strong fleet.
+
+    ``fast=True`` runs the shard through :mod:`repro.fleet.synth` —
+    byte-identical device parameters, synthesized traces, vectorized
+    device math — and attaches the columnar payload for array-merge
+    aggregation.  Population summaries then agree with the reference
+    path within the contract declared in :mod:`repro.fleet.contract`.
+    """
+    from repro.fleet.aggregate import aggregate_rows, pack_columns
 
     spec = FleetSpec(
         devices=devices,
@@ -62,8 +70,16 @@ def run(
         ops_per_device=ops,
     )
     indices = shard_indices(devices, shard, shards)
-    samples = sample_devices(spec, indices)
-    rows = [simulate_device(sample) for sample in samples]
+    columns = None
+    if fast:
+        from repro.fleet.synth import simulate_shard_fast
+
+        rows, _ = simulate_shard_fast(spec, indices)
+        if rows:
+            columns = pack_columns(rows)
+    else:
+        samples = sample_devices(spec, indices)
+        rows = [simulate_device(sample) for sample in samples]
 
     device_rows = tuple(
         tuple(
@@ -100,18 +116,26 @@ def run(
         rows=tuple(summary_rows),
     )
 
+    notes = [
+        "Each device's workload, storage device, cache sizes, and trace "
+        "are drawn from sha256(fleet seed, device index), so shard "
+        "boundaries and worker count never change any device's result.",
+        "Population-level aggregation across shards is exact (sorted "
+        "merge by device index); see repro.fleet.aggregate.",
+    ]
+    if fast:
+        notes.append(
+            "Fast path: parameters sampled exactly, traces synthesized and "
+            "devices batched per repro.fleet.synth; population summaries "
+            "agree with the reference path within repro.fleet.contract."
+        )
     return ExperimentResult(
         experiment_id="fleet",
         title="Fleet-scale device population (one shard)",
         tables=(devices_table, summary_table),
-        notes=(
-            "Each device's workload, storage device, cache sizes, and trace "
-            "are drawn from sha256(fleet seed, device index), so shard "
-            "boundaries and worker count never change any device's result.",
-            "Population-level aggregation across shards is exact (sorted "
-            "merge by device index); see repro.fleet.aggregate.",
-        ),
+        notes=tuple(notes),
         scale=scale,
+        columns=columns,
     )
 
 

@@ -19,12 +19,18 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.core.config import SimulationConfig
 from repro.core.simulator import simulate
 from repro.errors import ConfigurationError
 from repro.traces.workloads import workload_by_name
 from repro.units import KB, MB
+
+#: Workload generators are immutable (``generate`` seeds its own RNG per
+#: call), so one instance per process serves every device — the factory
+#: lookup rebuilt a spec table per device before this was memoized.
+_workload = lru_cache(maxsize=None)(workload_by_name)
 
 #: Workload share of the fleet (weights need not sum to 1).  The mix
 #: leans toward mac — the paper's longest, most interactive trace.
@@ -178,7 +184,7 @@ def simulate_device(sample: DeviceSample) -> dict[str, object]:
     trace store — every fleet member's trace is unique), so a row depends
     only on the sample, never on which shard or worker computed it.
     """
-    trace = workload_by_name(sample.workload).generate(
+    trace = _workload(sample.workload).generate(
         seed=sample.seed, n_ops=sample.n_ops
     )
     config = SimulationConfig(

@@ -172,7 +172,7 @@ def parse_request(payload: Any) -> dict[str, Any]:
     if kind not in ("fleet", "run"):
         raise ConfigurationError(f"unknown job kind {kind!r}")
     known = {"kind", "scale", "seed", "seeds", "jobs", "shards",
-             "devices", "ops", "experiments"}
+             "devices", "ops", "experiments", "fast"}
     unknown = set(payload) - known
     if unknown:
         raise ConfigurationError(f"unknown job fields: {sorted(unknown)}")
@@ -200,6 +200,11 @@ def parse_request(payload: Any) -> dict[str, Any]:
         request["ops"] = _int("ops", 400, 1, 10_000_000)
         if payload.get("shards") is not None:
             request["shards"] = _int("shards", 1, 1, 100_000)
+        fast = payload.get("fast", False)
+        if not isinstance(fast, bool):
+            raise ConfigurationError(f"fast must be a boolean, got {fast!r}")
+        if fast:
+            request["fast"] = True
         return request
 
     experiments = payload.get("experiments")
@@ -272,6 +277,9 @@ class JobManager:
                              "jobs finished in state failed")
         self.metrics.counter("serve_jobs_cancelled_total",
                              "jobs finished in state cancelled")
+        self.metrics.counter("serve_fleet_devices_total",
+                             "fleet devices simulated (or replayed) "
+                             "across all fleet jobs")
         self.metrics.gauge("serve_queue_depth", "jobs waiting to start",
                            fn=self._queue.qsize)
         self.metrics.gauge("serve_jobs_running", "jobs currently executing",
@@ -427,6 +435,7 @@ class JobManager:
                     ),
                     jobs=jobs,
                     shards=request.get("shards"),
+                    fast=request.get("fast", False),
                     cache=self.cache,
                     trace_store=self.trace_store,
                     manifest=manifest,
