@@ -44,7 +44,7 @@ from repro.traces.workloads import (
     workload_by_name,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "DEVICE_SPECS",

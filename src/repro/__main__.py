@@ -5,6 +5,8 @@ Commands:
 * ``simulate``  — run a workload against a device and print the Table 4-style row
 * ``generate``  — write a synthetic trace to a file
 * ``analyze``   — characterise a trace file (Table 3 stats + locality toolkit)
+* ``import``    — normalise a foreign trace (csv / blktrace / snia, .gz ok)
+* ``fit``       — learn a workload model from a trace; emit model.json
 * ``experiment``— run a registered experiment driver (same as the runner)
 * ``inspect``   — per-layer latency/energy attribution for an experiment
 * ``profile``   — time an experiment under cProfile and report where it goes
@@ -47,7 +49,8 @@ def _add_kernel_arg(parser) -> None:
 def _add_simulate(subparsers) -> None:
     parser = subparsers.add_parser("simulate", help="simulate a workload on a device")
     parser.add_argument("--workload", default="mac",
-                        help="mac | dos | hp | synth | path to a trace file")
+                        help="mac | dos | hp | synth | fitted:<model.json> | "
+                        "path to a trace file")
     parser.add_argument("--device", default="cu140-datasheet")
     parser.add_argument("--ops", type=int, default=20_000,
                         help="operations to generate (ignored for trace files)")
@@ -64,7 +67,8 @@ def _add_simulate(subparsers) -> None:
 
 def _add_generate(subparsers) -> None:
     parser = subparsers.add_parser("generate", help="write a synthetic trace")
-    parser.add_argument("--workload", default="mac", help="mac | dos | hp | synth")
+    parser.add_argument("--workload", default="mac",
+                        help="mac | dos | hp | synth | fitted:<model.json>")
     parser.add_argument("--ops", type=int, default=10_000)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("-o", "--output", required=True)
@@ -77,6 +81,81 @@ def _add_analyze(subparsers) -> None:
                         help="LRU size for the predicted hit rate")
 
 
+def _add_import(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "import",
+        help="normalise a foreign trace into the repro trace format",
+        description="Import a csv / blktrace / snia trace (transparently "
+        "gunzipped), synthesising file ids for disk-level sources, and "
+        "write it in the save_trace text format.  With --expect the "
+        "import is gated on conformance to reference statistics.",
+    )
+    parser.add_argument("source", help="foreign trace file (.gz ok)")
+    parser.add_argument("-o", "--output", required=True,
+                        help="normalised trace output path")
+    parser.add_argument("--format", default="auto",
+                        choices=("auto", "csv", "blktrace", "snia"),
+                        help="source format (default: sniffed)")
+    parser.add_argument("--columns", default=None, metavar="MAP",
+                        help="csv column map, e.g. "
+                        "'time=Timestamp,op=Type,size=Size,offset=3' "
+                        "(names need a header row; integers are 0-based "
+                        "indices). Required for csv sources.")
+    parser.add_argument("--time-unit", default=None,
+                        choices=("s", "ms", "us", "ns", "100ns"),
+                        help="source timestamp unit (default: s for csv, "
+                        "100ns for snia)")
+    parser.add_argument("--delimiter", default=",",
+                        help="csv field delimiter (default ,)")
+    parser.add_argument("--no-header", action="store_true",
+                        help="csv source has no header row")
+    parser.add_argument("--block-size", type=int, default=KB, metavar="BYTES",
+                        help="trace block size in bytes (default 1024)")
+    parser.add_argument("--action", default="Q",
+                        help="blktrace action to keep (default Q)")
+    parser.add_argument("--name", default=None,
+                        help="trace name (default: derived from the file)")
+    parser.add_argument("--expect", default=None, metavar="STATS.json",
+                        help="reference TraceStatistics JSON the import "
+                        "must conform to")
+    parser.add_argument("--stats-out", default=None, metavar="PATH",
+                        help="also write the imported trace's statistics "
+                        "as JSON (usable later as --expect)")
+
+
+def _add_fit(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "fit",
+        help="fit a workload model to a trace; emit model.json",
+        description="Learn generator parameters (rates, size and "
+        "inter-arrival distributions, popularity skew, coverage) from a "
+        "trace and write a fitted-workload model.  The model generates "
+        "arbitrarily long extensions: use it anywhere a workload name "
+        "is accepted as 'fitted:<model.json>'.  By default the fit is "
+        "verified by regenerating at 2x length and checking the "
+        "extension against the source's Table 3 row.",
+    )
+    parser.add_argument("trace",
+                        help="mac | dos | hp | synth | path to a trace file")
+    parser.add_argument("-o", "--output", required=True,
+                        help="model JSON output path")
+    parser.add_argument("--ops", type=int, default=20_000,
+                        help="operations to generate for bundled workload "
+                        "names (ignored for trace files)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="generation seed for bundled workload names")
+    parser.add_argument("--name", default=None,
+                        help="fitted workload name (default: "
+                        "fitted-<trace name>)")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip the 2x-extension conformance check")
+    parser.add_argument("--length", type=float, default=2.0,
+                        help="verification extension length, as a multiple "
+                        "of the source's record count (default 2.0)")
+    parser.add_argument("--report-out", default=None, metavar="PATH",
+                        help="write the conformance report as JSON")
+
+
 def _add_experiment(subparsers) -> None:
     from repro.experiments.runner import parse_scale
 
@@ -86,6 +165,10 @@ def _add_experiment(subparsers) -> None:
                         help="trace-length scale in (0, 1]")
     parser.add_argument("--seed", type=int, default=None,
                         help="trace-generation seed (default: module default)")
+    parser.add_argument("--workload", default=None,
+                        help="override the driver's trace set: a bundled "
+                        "workload name (mac | dos | hp | synth) or "
+                        "fitted:<model.json>")
     _add_kernel_arg(parser)
 
 
@@ -317,6 +400,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_simulate(subparsers)
     _add_generate(subparsers)
     _add_analyze(subparsers)
+    _add_import(subparsers)
+    _add_fit(subparsers)
     _add_experiment(subparsers)
     _add_inspect(subparsers)
     _add_profile(subparsers)
@@ -337,6 +422,11 @@ def _load_workload(name: str, ops: int, seed: int):
     from repro.traces.synthetic import SyntheticWorkload
     from repro.traces.workloads import workload_by_name
 
+    if name.startswith("fitted:"):
+        from repro.traces.fitting import FittedWorkload
+
+        model = FittedWorkload.load(name.removeprefix("fitted:"))
+        return model.generate(seed=seed, n_ops=ops)
     if name == "synth":
         return SyntheticWorkload().generate(n_ops=ops, seed=seed)
     if name in ("mac", "dos", "hp"):
@@ -431,11 +521,126 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def cmd_import(args) -> int:
+    import json
+
+    from repro.errors import TraceError
+    from repro.traces.ingest import CsvSpec, import_trace, parse_column_map
+    from repro.traces.io import save_trace
+    from repro.traces.stats import compute_statistics
+
+    options: dict = {}
+    if args.format in ("auto", "csv") and args.columns:
+        options["spec"] = CsvSpec(
+            columns=parse_column_map(args.columns),
+            time_unit=args.time_unit or "s",
+            delimiter=args.delimiter,
+            header=not args.no_header,
+            block_size=args.block_size,
+            name=args.name,
+        )
+        if args.format == "auto":
+            args.format = "csv"
+    elif args.format == "csv":
+        print("error: csv imports need --columns (e.g. "
+              "'time=Timestamp,op=Type,size=Size')", file=sys.stderr)
+        return 2
+    elif args.format == "blktrace":
+        options = {"action": args.action, "block_size": args.block_size,
+                   "name": args.name}
+    elif args.format == "snia":
+        options = {"time_unit": args.time_unit or "100ns",
+                   "block_size": args.block_size, "name": args.name}
+
+    expect = None
+    if args.expect:
+        with open(args.expect) as handle:
+            expect = json.load(handle)
+    try:
+        trace, report = import_trace(
+            args.source, format=args.format, expect=expect, **options
+        )
+    except TraceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    save_trace(trace, args.output)
+    stats = compute_statistics(trace)
+    print(report.summary())
+    print(f"wrote {len(trace)} records to {args.output}")
+    for key, value in stats.row().items():
+        print(f"  {key:18s} {value}")
+    if trace.metadata.get("conformance"):
+        print("conformance to --expect: OK")
+    if args.stats_out:
+        with open(args.stats_out, "w") as handle:
+            json.dump(stats.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote statistics to {args.stats_out}")
+    return 0
+
+
+def cmd_fit(args) -> int:
+    import json
+
+    from repro.errors import TraceError
+    from repro.traces.fitting import fit_trace
+
+    try:
+        trace = _load_workload(args.trace, args.ops, args.seed)
+        model = fit_trace(trace, name=args.name, source=args.trace)
+    except TraceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    model.save(args.output)
+    print(f"fitted {model.spec.name!r} from {args.trace} "
+          f"({model.reference.n_records} records)")
+    print(f"wrote model to {args.output} "
+          f"(digest {model.content_digest()[:16]})")
+    if args.no_verify:
+        return 0
+    report = model.verify(seed=args.seed, length=args.length)
+    if args.report_out:
+        with open(args.report_out, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote conformance report to {args.report_out}")
+    print(report.render())
+    return 0 if report.ok else 1
+
+
+def _workload_override_kwargs(experiment_id: str, workload: str | None) -> dict:
+    """Map --workload onto the driver's trace-selection parameter
+    (``traces=`` tuple, ``trace_name=``, or ``workload=``)."""
+    if workload is None:
+        return {}
+    import inspect
+
+    from repro.errors import ConfigurationError
+    from repro.experiments.registry import get_experiment
+
+    parameters = inspect.signature(get_experiment(experiment_id).run).parameters
+    if "traces" in parameters:
+        return {"traces": (workload,)}
+    for name in ("trace_name", "workload"):
+        if name in parameters:
+            return {name: workload}
+    raise ConfigurationError(
+        f"experiment {experiment_id!r} runs on a fixed trace set and "
+        f"takes no --workload override"
+    )
+
+
 def cmd_experiment(args) -> int:
+    from repro.errors import ConfigurationError
     from repro.experiments.runner import run_experiment
 
+    try:
+        kwargs = _workload_override_kwargs(args.experiment_id, args.workload)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(run_experiment(args.experiment_id, scale=args.scale, seed=args.seed,
-                         kernel=args.kernel).render())
+                         kernel=args.kernel, **kwargs).render())
     return 0
 
 
@@ -756,6 +961,8 @@ _COMMANDS = {
     "simulate": cmd_simulate,
     "generate": cmd_generate,
     "analyze": cmd_analyze,
+    "import": cmd_import,
+    "fit": cmd_fit,
     "experiment": cmd_experiment,
     "inspect": cmd_inspect,
     "profile": cmd_profile,

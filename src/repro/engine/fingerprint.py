@@ -5,7 +5,10 @@ A cached :class:`~repro.experiments.base.ExperimentResult` is only valid
 while the inputs that produced it are unchanged.  The key therefore
 covers:
 
-* the work unit itself (experiment id, scale, seed, driver kwargs);
+* the work unit itself (experiment id, scale, seed, driver kwargs) —
+  with ``fitted:<model.json>`` workload references resolved to the
+  model's *content* digest, so editing or re-fitting a model file
+  invalidates results even though the path is unchanged;
 * a fingerprint of the device parameter registry — editing any spec in
   :mod:`repro.devices.specs` changes every simulated number;
 * the package version, as a coarse proxy for "the simulator code
@@ -42,6 +45,30 @@ def _digest(payload: Any) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+def _resolve_fitted(value: Any) -> Any:
+    """Rewrite ``fitted:<path>`` workload references to content tokens.
+
+    The path is not the identity — the model file's *content* is.  A
+    model that cannot be loaded hashes as missing (distinct from every
+    real model, so a later fix re-runs the unit).
+    """
+    if isinstance(value, str) and value.startswith("fitted:"):
+        from repro.errors import TraceError
+        from repro.traces.fitting import FittedWorkload
+
+        path = value.removeprefix("fitted:")
+        try:
+            digest = FittedWorkload.load(path).content_digest()
+        except TraceError:
+            digest = f"missing:{path}"
+        return f"fitted:{digest}"
+    if isinstance(value, (list, tuple)):
+        return type(value)(_resolve_fitted(item) for item in value)
+    if isinstance(value, dict):
+        return {key: _resolve_fitted(item) for key, item in value.items()}
+    return value
+
+
 @lru_cache(maxsize=1)
 def device_fingerprint() -> str:
     """Stable hash of the full device parameter registry."""
@@ -72,7 +99,7 @@ def cache_key(
             # kernel answers within tolerance, not bit-identically, so a
             # vector result must never replay for a batched request.
             "kernel": unit.kernel,
-            "kwargs": {key: value for key, value in unit.kwargs},
+            "kwargs": {key: _resolve_fitted(value) for key, value in unit.kwargs},
             "devices": fingerprint if fingerprint is not None else device_fingerprint(),
             "version": version if version is not None else package_version(),
         }

@@ -79,7 +79,9 @@ def run(scale: float = 1.0, traces: tuple[str, ...] = ("mac", "dos", "hp"),
         rows = []
         for device in DEVICE_ROWS:
             result = simulate_row(trace_name, device, scale, seed=seed)
-            paper = PAPER_TABLE4[trace_name][device]
+            # Non-paper traces (synth, fitted models) have no Table 4
+            # reference column; the simulated columns still apply.
+            paper = PAPER_TABLE4.get(trace_name, {}).get(device)
             rows.append(
                 (
                     device,
@@ -88,7 +90,9 @@ def run(scale: float = 1.0, traces: tuple[str, ...] = ("mac", "dos", "hp"),
                     round(result.read_response.max_ms, 1),
                     round(result.write_response.mean_ms, 2),
                     round(result.write_response.max_ms, 1),
-                    paper[0], paper[1], paper[4],
+                    paper[0] if paper else "—",
+                    paper[1] if paper else "—",
+                    paper[4] if paper else "—",
                 )
             )
         tables.append(

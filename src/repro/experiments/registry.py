@@ -30,6 +30,7 @@ from repro.experiments.exp_ablation_flash_sram import (
 from repro.experiments.exp_ablation_leveling import EXPERIMENT as ABLATION_LEVELING
 from repro.experiments.exp_flashcache import EXPERIMENT as FLASHCACHE
 from repro.experiments.exp_fault_tolerance import EXPERIMENT as FAULT_TOLERANCE
+from repro.experiments.exp_fitted_replay import EXPERIMENT as FITTED_REPLAY
 from repro.fleet.experiment import EXPERIMENT as FLEET
 
 _EXPERIMENTS: dict[str, Experiment] = {
@@ -57,6 +58,7 @@ _EXPERIMENTS: dict[str, Experiment] = {
         ABLATION_LEVELING,
         FLASHCACHE,
         FAULT_TOLERANCE,
+        FITTED_REPLAY,
         FLEET,
     )
 }

@@ -24,6 +24,7 @@ import warnings
 from functools import lru_cache
 from typing import Protocol
 
+from repro.traces.fitting import FittedWorkload
 from repro.traces.synthetic import SyntheticWorkload
 from repro.traces.trace import Trace
 from repro.traces.workloads import workload_by_name
@@ -104,6 +105,15 @@ def default_seed() -> int:
 def trace_for(name: str, scale: float = 1.0, seed: int | None = None) -> Trace:
     """The (cached) trace for one of the paper's workloads at ``scale``.
 
+    Besides the bundled names (``mac``/``dos``/``hp``/``synth``),
+    ``fitted:<model.json>`` generates from a saved
+    :class:`~repro.traces.fitting.FittedWorkload`, scaled against the
+    model's source record count.  The per-process cache keys on the model
+    *path*; the engine's result cache keys on the model *content*
+    (:mod:`repro.engine.fingerprint`), so a re-fit model invalidates
+    cached results even though a long-lived process should be restarted
+    to pick it up.
+
     ``seed=None`` uses the module default (1 unless retargeted via the
     deprecated :func:`set_default_seed`).
     """
@@ -113,18 +123,32 @@ def trace_for(name: str, scale: float = 1.0, seed: int | None = None) -> Trace:
 @lru_cache(maxsize=32)
 def _generate(name: str, scale: float, seed: int) -> Trace:
     store = _TRACE_STORE
+    model: FittedWorkload | None = None
+    store_name = name
+    if name.startswith("fitted:"):
+        # Store entries are keyed by model *content*, not path: the path
+        # may contain separators, and a re-fit model at the same path
+        # must never be served a stale stored trace.
+        model = FittedWorkload.load(name.removeprefix("fitted:"))
+        store_name = f"fitted-{model.content_digest()[:16]}"
     if store is not None:
-        stored = store.load(name, scale, seed)
+        stored = store.load(store_name, scale, seed)
         if stored is not None:
             return stored
-    if name == "synth":
+    if model is not None:
+        n_ops = max(500, int(model.reference.n_records * scale))
+        trace = model.generate(seed=seed, n_ops=n_ops)
+    elif name == "synth":
         n_ops = max(500, int(SYNTH_FULL_OPS * scale))
         trace = SyntheticWorkload().generate(n_ops=n_ops, seed=seed)
     else:
+        # Resolve the spec first: workload_by_name raises the canonical
+        # TraceError (naming the valid choices) for unknown names.
+        spec = workload_by_name(name)
         n_ops = max(500, int(FULL_OPS[name] * scale))
-        trace = workload_by_name(name).generate(seed=seed, n_ops=n_ops)
+        trace = spec.generate(seed=seed, n_ops=n_ops)
     if store is not None:
-        store.save(trace, name, scale, seed)
+        store.save(trace, store_name, scale, seed)
     return trace
 
 

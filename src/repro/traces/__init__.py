@@ -6,9 +6,16 @@ substitution rationale).
 
 from repro.traces.record import BlockOp, Operation, TraceRecord
 from repro.traces.trace import Trace
-from repro.traces.filemap import FileMapper
-from repro.traces.stats import TraceStatistics, compute_statistics
+from repro.traces.filemap import ExtentMapper, FileMapper
+from repro.traces.stats import (
+    ConformanceReport,
+    TraceStatistics,
+    check_conformance,
+    compute_statistics,
+)
 from repro.traces.io import load_trace, save_trace
+from repro.traces.fitting import FittedWorkload, fit_trace
+from repro.traces.ingest import CsvSpec, detect_format, import_trace
 from repro.traces.transform import (
     concat,
     filter_ops,
@@ -27,8 +34,12 @@ from repro.traces.workloads import (
 
 __all__ = [
     "BlockOp",
+    "ConformanceReport",
+    "CsvSpec",
     "DosWorkload",
+    "ExtentMapper",
     "FileMapper",
+    "FittedWorkload",
     "HpWorkload",
     "MacWorkload",
     "Operation",
@@ -37,9 +48,13 @@ __all__ = [
     "TraceRecord",
     "TraceStatistics",
     "WorkloadSpec",
+    "check_conformance",
     "compute_statistics",
     "concat",
     "filter_ops",
+    "fit_trace",
+    "import_trace",
+    "detect_format",
     "interleave",
     "load_trace",
     "save_trace",

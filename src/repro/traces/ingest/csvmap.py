@@ -1,0 +1,240 @@
+"""CSV trace import with a declarative column map.
+
+Real-world CSV block/file traces agree on nothing but commas, so the
+importer is driven by a :class:`CsvSpec` naming which column holds what
+(by header name or 0-based index), the time unit, and how operation
+strings map onto the paper's read/write/delete vocabulary::
+
+    spec = CsvSpec(
+        columns={"time": "Timestamp", "op": "Type",
+                 "offset": "Offset", "size": "Size"},
+        time_unit="ms",
+        level="disk",
+    )
+    trace, report = parse("trace.csv.gz", spec=spec)
+
+File-level sources additionally map a ``file`` column; disk-level
+sources (no ``file`` column) synthesise file ids via the extent-mapping
+heuristic (:class:`repro.traces.filemap.ExtentMapper`).
+"""
+
+from __future__ import annotations
+
+import csv as _csv
+from dataclasses import dataclass, field as dataclass_field
+from pathlib import Path
+
+from repro.errors import TraceError
+from repro.traces.ingest.base import (
+    ImportReport,
+    RecordBuilder,
+    iter_lines,
+    open_text,
+    parse_error,
+    parse_int,
+    parse_time,
+    time_scale,
+)
+from repro.traces.record import Operation
+from repro.traces.trace import Trace
+from repro.units import KB
+
+#: Default spelling variants accepted for each operation (lower-cased).
+DEFAULT_OP_MAP = {
+    "read": "read", "r": "read", "rd": "read",
+    "write": "write", "w": "write", "wr": "write",
+    "delete": "delete", "d": "delete", "del": "delete", "erase": "delete",
+    "trim": "delete", "unlink": "delete",
+}
+
+#: Fields a column map may bind.  ``time``, ``op`` and ``size`` are
+#: required; ``file`` selects file-level import, its absence disk-level.
+CSV_FIELDS = ("time", "op", "file", "offset", "size")
+
+
+@dataclass(frozen=True)
+class CsvSpec:
+    """Declarative description of one CSV trace dialect.
+
+    ``columns`` maps canonical field names (:data:`CSV_FIELDS`) to the
+    source's column header names (``str``) or 0-based indices (``int``).
+    Header names require ``header=True`` (the default); indices work
+    either way.
+    """
+
+    columns: dict[str, str | int]
+    time_unit: str = "s"
+    delimiter: str = ","
+    header: bool = True
+    #: "file" if a ``file`` column is mapped, else "disk"
+    op_map: dict[str, str] = dataclass_field(default_factory=dict)
+    block_size: int = KB
+    name: str | None = None
+
+    def __post_init__(self) -> None:
+        for fieldname in ("time", "op", "size"):
+            if fieldname not in self.columns:
+                raise TraceError(
+                    f"csv column map must bind {fieldname!r} "
+                    f"(got {sorted(self.columns)})"
+                )
+        unknown = set(self.columns) - set(CSV_FIELDS)
+        if unknown:
+            raise TraceError(
+                f"csv column map binds unknown field(s) {sorted(unknown)}; "
+                f"expected a subset of {list(CSV_FIELDS)}"
+            )
+
+    @property
+    def level(self) -> str:
+        return "file" if "file" in self.columns else "disk"
+
+    def resolved_op_map(self) -> dict[str, str]:
+        mapping = dict(DEFAULT_OP_MAP)
+        mapping.update({
+            key.lower(): value.lower() for key, value in self.op_map.items()
+        })
+        return mapping
+
+
+def parse_column_map(text: str) -> dict[str, str | int]:
+    """Parse a CLI column map: ``time=Timestamp,op=2,offset=Offset,...``.
+
+    Values that look like integers become 0-based column indices.
+    """
+    columns: dict[str, str | int] = {}
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        key, sep, value = token.partition("=")
+        if not sep or not value:
+            raise TraceError(
+                f"bad column-map entry {token!r}; expected field=column"
+            )
+        columns[key.strip()] = (
+            int(value) if value.strip().lstrip("-").isdigit() else value.strip()
+        )
+    return columns
+
+
+def _resolve_indices(
+    spec: CsvSpec, header_row: list[str] | None, source: str
+) -> dict[str, int]:
+    """Bind each mapped field to a concrete column index."""
+    indices: dict[str, int] = {}
+    for fieldname, column in spec.columns.items():
+        if isinstance(column, int):
+            if column < 0:
+                raise TraceError(
+                    f"{source}: column index for {fieldname!r} must be >= 0"
+                )
+            indices[fieldname] = column
+        else:
+            if header_row is None:
+                raise TraceError(
+                    f"{source}: column {column!r} is named but the spec "
+                    f"declares header=False; use a 0-based index"
+                )
+            try:
+                indices[fieldname] = header_row.index(column)
+            except ValueError:
+                raise TraceError(
+                    f"{source}:1: no column {column!r} in header "
+                    f"{header_row!r}"
+                ) from None
+    return indices
+
+
+def parse(
+    path: str | Path, *, spec: CsvSpec
+) -> tuple[Trace, ImportReport]:
+    """Import a CSV trace according to ``spec`` (streaming, ``.gz`` ok)."""
+    path = Path(path)
+    source = str(path)
+    name = spec.name or path.name.removesuffix(".gz").rsplit(".", 1)[0]
+    scale = time_scale(source, spec.time_unit)
+    op_map = spec.resolved_op_map()
+
+    builder = RecordBuilder(
+        source=source,
+        name=name,
+        block_size=spec.block_size,
+        level=spec.level,
+        time_scale=scale,
+        extra_metadata={"time_unit": spec.time_unit},
+    )
+
+    lines = comments = 0
+    indices: dict[str, int] | None = None
+    with open_text(path) as stream:
+        for line_number, line in iter_lines(stream, source):
+            lines += 1
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                comments += 1
+                continue
+            try:
+                row = next(_csv.reader([line], delimiter=spec.delimiter))
+            except (_csv.Error, StopIteration) as exc:
+                raise parse_error(source, line_number, f"bad csv: {exc}") from exc
+            if indices is None:
+                if spec.header:
+                    comments += 1
+                    indices = _resolve_indices(spec, row, source)
+                    continue
+                indices = _resolve_indices(spec, None, source)
+            width = max(indices.values()) + 1
+            if len(row) < width:
+                raise parse_error(
+                    source, line_number,
+                    f"expected >= {width} column(s), got {len(row)}",
+                )
+            builder.add(line_number, **_translate(
+                source, line_number, row, indices, op_map,
+            ))
+    report = ImportReport(
+        source=source, format="csv", lines=lines,
+        records=lines - comments, comments=comments, filtered=0,
+        reordered=builder.reordered,
+    )
+    return builder.build(report), report
+
+
+def _translate(
+    source: str,
+    line_number: int,
+    row: list[str],
+    indices: dict[str, int],
+    op_map: dict[str, str],
+) -> dict:
+    time = parse_time(source, line_number, row[indices["time"]].strip())
+    op_text = row[indices["op"]].strip().lower()
+    op_name = op_map.get(op_text)
+    if op_name is None:
+        raise parse_error(
+            source, line_number,
+            f"unknown operation {row[indices['op']].strip()!r}",
+        )
+    op = Operation(op_name)
+    size = parse_int(source, line_number, row[indices["size"]].strip(), "size")
+    offset = 0
+    if "offset" in indices:
+        offset = parse_int(source, line_number,
+                           row[indices["offset"]].strip(), "offset")
+    if op is Operation.DELETE:
+        # Foreign traces routinely carry a size on deletes; the paper's
+        # records do not, so it is normalised away.
+        size = 0
+    if "file" in indices:
+        file_id = parse_int(source, line_number,
+                            row[indices["file"]].strip(), "file id")
+        return {"time": time, "op": op, "file_id": file_id,
+                "offset": offset, "size": size}
+    if op is Operation.DELETE:
+        raise parse_error(
+            source, line_number,
+            "delete records need file identity; disk-level imports "
+            "cannot carry deletions",
+        )
+    return {"time": time, "op": op, "disk_offset": offset, "size": size}

@@ -35,10 +35,18 @@ def save_trace(trace: Trace, path: str | Path) -> None:
 
 
 def load_trace(path: str | Path) -> Trace:
-    """Read a trace previously written by :func:`save_trace`."""
+    """Read a trace previously written by :func:`save_trace`.
+
+    Every malformed input — bad header values, duplicate headers, bad
+    record fields, records that violate the trace invariants (negative
+    sizes, time running backwards) — raises :class:`TraceError` naming
+    the file and 1-based line number.
+    """
     path = Path(path)
     name = path.stem
     block_size = KB
+    seen_header = False
+    last_time: float | None = None
     records: list[TraceRecord] = []
     with _open(path, "rt") as stream:
         for line_number, line in enumerate(stream, start=1):
@@ -46,11 +54,26 @@ def load_trace(path: str | Path) -> Trace:
             if not line:
                 continue
             if line.startswith("#!"):
-                name, block_size = _parse_header(line, name, block_size)
+                if seen_header:
+                    raise TraceError(
+                        f"{path}:{line_number}: duplicate '#!' header line "
+                        f"(one per trace; records must follow it)"
+                    )
+                seen_header = True
+                name, block_size = _parse_header(
+                    line, name, block_size, path, line_number
+                )
                 continue
             if line.startswith("#"):
                 continue
-            records.append(_parse_record(line, path, line_number))
+            record = _parse_record(line, path, line_number)
+            if last_time is not None and record.time < last_time:
+                raise TraceError(
+                    f"{path}:{line_number}: time runs backwards "
+                    f"({record.time:.6f} after {last_time:.6f})"
+                )
+            last_time = record.time
+            records.append(record)
     return Trace(name, records, block_size=block_size)
 
 
@@ -60,13 +83,26 @@ def _open(path: Path, mode: str) -> IO[str]:
     return open(path, mode)
 
 
-def _parse_header(line: str, name: str, block_size: int) -> tuple[str, int]:
+def _parse_header(
+    line: str, name: str, block_size: int, path: Path, line_number: int
+) -> tuple[str, int]:
     for token in line[2:].split():
         key, _, value = token.partition("=")
         if key == "name":
             name = value
         elif key == "block_size":
-            block_size = int(value)
+            try:
+                block_size = int(value)
+            except ValueError:
+                raise TraceError(
+                    f"{path}:{line_number}: bad block_size {value!r} "
+                    f"(not an integer)"
+                ) from None
+            if block_size <= 0:
+                raise TraceError(
+                    f"{path}:{line_number}: block_size must be positive, "
+                    f"got {block_size}"
+                )
     return name, block_size
 
 
@@ -82,4 +118,11 @@ def _parse_record(line: str, path: Path, line_number: int) -> TraceRecord:
         size = int(fields[4])
     except ValueError as exc:
         raise TraceError(f"{path}:{line_number}: {exc}") from exc
-    return TraceRecord(time=time, op=op, file_id=file_id, offset=offset, size=size)
+    try:
+        return TraceRecord(
+            time=time, op=op, file_id=file_id, offset=offset, size=size
+        )
+    except TraceError as exc:
+        # Record-invariant violations (negative time/offset, delete with
+        # a size, zero-size read/write) carry line provenance too.
+        raise TraceError(f"{path}:{line_number}: {exc}") from exc

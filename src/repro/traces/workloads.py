@@ -473,10 +473,21 @@ _FACTORIES = {
 
 
 def workload_by_name(name: str) -> WorkloadSpec:
-    """Look up one of the paper's trace workloads by name."""
+    """Look up one of the paper's trace workloads by name.
+
+    ``fitted:<model.json>`` resolves a saved fitted-workload model
+    (a ``repro fit`` artifact) to its learned spec, so fitted workloads
+    work anywhere a bundled workload name does — simulate, fleet
+    populations, trace generation.
+    """
+    if name.startswith("fitted:"):
+        from repro.traces.fitting import FittedWorkload
+
+        return FittedWorkload.load(name.removeprefix("fitted:")).spec
     try:
         return _FACTORIES[name]()
     except KeyError:
         raise TraceError(
-            f"unknown workload {name!r}; expected one of {sorted(_FACTORIES)}"
+            f"unknown workload {name!r}; expected one of {sorted(_FACTORIES)} "
+            f"or fitted:<model.json>"
         ) from None

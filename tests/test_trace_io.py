@@ -85,3 +85,61 @@ def test_default_name_is_stem(tmp_path):
     path = tmp_path / "mytrace.txt"
     path.write_text("0.0 read 1 0 1024\n")
     assert load_trace(path).name == "mytrace"
+
+
+# -- error provenance: every parse failure names the offending line --------
+
+
+def test_duplicate_header_rejected(tmp_path):
+    path = tmp_path / "dup.txt"
+    path.write_text(
+        "#! name=one block_size=1024\n"
+        "0.0 read 1 0 1024\n"
+        "#! name=two block_size=512\n"
+    )
+    with pytest.raises(TraceError, match=r"dup\.txt:3: duplicate '#!' header"):
+        load_trace(path)
+
+
+def test_bad_header_block_size_names_line(tmp_path):
+    path = tmp_path / "hdr.txt"
+    path.write_text("# leading comment\n#! name=x block_size=banana\n")
+    with pytest.raises(TraceError, match=r"hdr\.txt:2: bad block_size 'banana'"):
+        load_trace(path)
+
+
+def test_nonpositive_header_block_size_names_line(tmp_path):
+    path = tmp_path / "hdr.txt"
+    path.write_text("#! block_size=0\n")
+    with pytest.raises(TraceError, match=r"hdr\.txt:1: block_size must be positive"):
+        load_trace(path)
+
+
+def test_malformed_line_error_names_line(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0.0 read 1 0 1024\n0.5 read 1 0\n")
+    with pytest.raises(TraceError, match=r"bad\.txt:2: expected 5 fields"):
+        load_trace(path)
+
+
+def test_record_invariant_violation_names_line(tmp_path):
+    # Field types parse fine; the TraceRecord invariant (a delete carries
+    # no payload) is what rejects the line — still with provenance.
+    path = tmp_path / "inv.txt"
+    path.write_text("0.0 read 1 0 1024\n1.0 delete 1 0 512\n")
+    with pytest.raises(TraceError, match=r"inv\.txt:2: "):
+        load_trace(path)
+
+
+def test_zero_size_read_names_line(tmp_path):
+    path = tmp_path / "zs.txt"
+    path.write_text("0.0 read 1 0 0\n")
+    with pytest.raises(TraceError, match=r"zs\.txt:1: "):
+        load_trace(path)
+
+
+def test_time_backwards_names_line(tmp_path):
+    path = tmp_path / "rev.txt"
+    path.write_text("1.0 read 1 0 1024\n0.5 read 1 0 1024\n")
+    with pytest.raises(TraceError, match=r"rev\.txt:2: time runs backwards"):
+        load_trace(path)
